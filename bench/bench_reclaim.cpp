@@ -1,0 +1,43 @@
+// Memory-reclamation cost comparison: the arena-backed mild list
+// (paper setup, reclamation deferred to the end of the run) vs the
+// hazard-pointer Michael list (nodes reclaimed during the run) vs the
+// lock-based lazy list (retire lists). Quantifies what the paper's
+// "simple memory reclamation after each experiment" buys, and what
+// §2's claim that the mild improvements tolerate standard schemes
+// costs in practice.
+//
+//   bench_reclaim [--threads P] [--c OPS] [--no-pin]
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/workload/op_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const int p = bench::default_threads(opt, 16);
+  const long c = opt.get_long("c", 25000);
+  const bool pin = !opt.get_bool("no-pin");
+  // Update-heavy mix to stress retirement: 25/25/50.
+  const workload::OpMix mix = workload::kScalingMix;
+
+  std::vector<harness::TableRow> rows;
+  for (const std::string_view id :
+       {std::string_view("singly"), std::string_view("hp_michael"),
+        std::string_view("ebr_michael"), std::string_view("lazy_lock")}) {
+    auto set = harness::make_set(id);
+    auto result = harness::run_random_mix(*set, p, c, /*f=*/1000,
+                                          /*universe=*/4096, mix,
+                                          /*seed=*/42, pin);
+    bench::check_valid(*set);
+    rows.push_back({std::string(id), result});
+  }
+
+  std::ostringstream title;
+  title << "Reclamation schemes, mix 25/25/50, p=" << p << ", c=" << c
+        << " (arena vs hazard pointers vs lock-based retire)";
+  harness::print_paper_table(std::cout, title.str(), rows);
+  return 0;
+}

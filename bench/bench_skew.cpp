@@ -1,0 +1,51 @@
+// Beyond-paper skew ablation: the cursor exploits access locality, and
+// a zipfian key stream has plenty of it. Compares uniform vs zipf
+// (theta = 0.9 / 0.99) streams on the mild, cursor and doubly-cursor
+// variants. The paper only evaluates uniform keys; this bench answers
+// "do the cursor wins survive (or grow) under realistic skew?".
+//
+//   bench_skew [--threads P] [--c OPS] [--u UNIVERSE] [--no-pin]
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/workload/op_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const int p = bench::default_threads(opt, 16);
+  const long c = opt.get_long("c", 6000);
+  const long u = opt.get_long("u", 8192);
+  const bool pin = !opt.get_bool("no-pin");
+
+  struct Dist {
+    const char* label;
+    harness::KeyDist dist;
+  };
+  const Dist dists[] = {
+      {"uniform", harness::KeyDist::uniform()},
+      {"zipf-0.9", harness::KeyDist::zipf(0.9)},
+      {"zipf-0.99", harness::KeyDist::zipf(0.99)},
+  };
+
+  for (const auto& d : dists) {
+    std::vector<harness::TableRow> rows;
+    for (const std::string_view id :
+         {std::string_view("singly"), std::string_view("singly_cursor"),
+          std::string_view("doubly_cursor")}) {
+      auto set = harness::make_set(id);
+      auto r = harness::run_random_mix(*set, p, c, u / 2, u,
+                                       workload::kTableMix, 42, pin, d.dist);
+      bench::check_valid(*set);
+      rows.push_back({std::string(id), r});
+    }
+    std::ostringstream title;
+    title << "Key skew: " << d.label << ", mix 10/10/80, p=" << p
+          << ", c=" << c << ", U=" << u;
+    harness::print_paper_table(std::cout, title.str(), rows);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Beyond-paper bench: the downstream structures the paper motivates.
+// Compares the flat ordered list (best variant f), the lock-free skip
+// list and the per-bucket hash set on the random mix at growing key
+// universes -- the regime where the list's O(n) search loses to the
+// skip list's O(log n) and the hash set's O(n/buckets).
+//
+//   bench_structures [--threads P] [--c OPS] [--no-pin]
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/workload/op_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const int p = bench::default_threads(opt, 16);
+  const long c = opt.get_long("c", 20000);
+  const bool pin = !opt.get_bool("no-pin");
+
+  for (const long universe : {1024L, 8192L, 65536L}) {
+    std::vector<harness::TableRow> rows;
+    for (const std::string_view id :
+         {std::string_view("doubly_cursor"), std::string_view("skiplist"),
+          std::string_view("skiplist_draconic")}) {
+      auto set = harness::make_set(id);
+      auto r = harness::run_random_mix(*set, p, c, universe / 2, universe,
+                                       workload::kTableMix, 42, pin);
+      bench::check_valid(*set);
+      rows.push_back({std::string(id), r});
+    }
+    std::ostringstream title;
+    title << "Structures, mix 10/10/80, U=" << universe << " f=" << universe / 2
+          << " p=" << p << " c=" << c;
+    harness::print_paper_table(std::cout, title.str(), rows);
+    std::cout << "\n";
+  }
+  return 0;
+}

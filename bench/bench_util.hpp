@@ -1,0 +1,48 @@
+// Shared plumbing for the paper-table bench binaries.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/affinity.hpp"
+#include "src/common/debug.hpp"
+#include "src/harness/catalog.hpp"
+#include "src/harness/options.hpp"
+#include "src/harness/table.hpp"
+
+namespace pragmalist::bench {
+
+/// Default thread count: 2x logical CPUs (contention without paper-scale
+/// hardware); --threads overrides, --paper restores the paper's counts.
+inline int default_threads(const harness::Options& opt, int paper_threads) {
+  if (opt.get_bool("paper")) return opt.get_int("threads", paper_threads);
+  return opt.get_int("threads", 2 * hardware_cpus());
+}
+
+/// "a) draconic" style row label.
+inline std::string row_label(std::string_view id) {
+  return std::string(harness::variant_letter(id)) + ") " + std::string(id);
+}
+
+/// Emit the CSV twin next to the binary (best effort).
+inline void emit_csv(const std::string& filename,
+                     const std::vector<harness::TableRow>& rows) {
+  std::ofstream out(filename);
+  if (!out) {
+    std::cerr << "(could not write " << filename << ")\n";
+    return;
+  }
+  harness::write_csv(out, rows);
+  std::cout << "csv: " << filename << "\n";
+}
+
+/// Post-run structural check; benches refuse to report numbers from a
+/// corrupted structure.
+inline void check_valid(const core::ISet& set) {
+  std::string err;
+  PRAGMALIST_CHECK(set.validate(&err), err.c_str());
+}
+
+}  // namespace pragmalist::bench

@@ -1,0 +1,83 @@
+// Reproduces Figures 1 (AMD), 2 (Xeon) and 3 (SPARC): weak-scaling
+// throughput of five variants (a, b, c, d, f) under the random mix
+// 25% add / 25% rem / 50% con with c = 50000 ops/thread, f = 16384
+// prefilled keys, U = 32768. The paper plots the mean of 5 runs per
+// point; we default to 3 repetitions and a host-sized thread sweep
+// (paper sweeps 1..512).
+//
+//   fig_scalability [--threads 1,2,4,8] [--c OPS] [--reps R] [--paper]
+//                   [--seed S] [--no-pin]
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/harness/stats.hpp"
+#include "src/workload/op_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const bool paper = opt.get_bool("paper");
+  const long c = opt.get_long("c", paper ? 50000 : 8000);
+  const long f = opt.get_long("f", 16384);
+  const long u = opt.get_long("u", 32768);
+  const int reps = opt.get_int("reps", paper ? 5 : 3);
+  const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
+  const bool pin = !opt.get_bool("no-pin");
+  const workload::OpMix mix = workload::kScalingMix;  // 25/25/50
+
+  std::vector<long> default_threads{1, 2, 3, 4, 6, 8};
+  if (paper)
+    default_threads = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+  const auto thread_counts = opt.get_long_list("threads", default_threads);
+
+  const auto& ids = harness::figure_variant_ids();
+  // series[id] -> per-thread-count mean Kops/s
+  std::map<std::string_view, std::vector<double>> series;
+
+  for (const long p : thread_counts) {
+    for (const auto id : ids) {
+      std::vector<double> kops;
+      for (int r = 0; r < reps; ++r) {
+        auto set = harness::make_set(id);
+        auto result = harness::run_random_mix(
+            *set, static_cast<int>(p), c, f, u, mix,
+            seed + static_cast<std::uint64_t>(r), pin);
+        bench::check_valid(*set);
+        kops.push_back(result.kops_per_sec());
+      }
+      series[id].push_back(harness::summarize(kops).mean);
+    }
+    std::cerr << "  [fig_scalability] finished p=" << p << "\n";
+  }
+
+  std::cout << "== Scalability, random mix 25/25/50 (Figures 1/2/3), c=" << c
+            << ", f=" << f << ", U=" << u << ", reps=" << reps << " ==\n";
+  std::cout << std::left << std::setw(9) << "threads";
+  for (const auto id : ids) std::cout << std::right << std::setw(15) << id;
+  std::cout << "   (mean Kops/s)\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::cout << std::left << std::setw(9) << thread_counts[i];
+    for (const auto id : ids)
+      std::cout << std::right << std::setw(15) << std::fixed
+                << std::setprecision(2) << series[id][i];
+    std::cout << "\n";
+  }
+
+  std::ofstream csv("fig_scalability.csv");
+  if (csv) {
+    csv << "threads";
+    for (const auto id : ids) csv << ',' << id;
+    csv << "\n";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      csv << thread_counts[i];
+      for (const auto id : ids) csv << ',' << series[id][i];
+      csv << "\n";
+    }
+    std::cout << "csv: fig_scalability.csv\n";
+  }
+  return 0;
+}

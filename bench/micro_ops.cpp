@@ -1,0 +1,86 @@
+// Google-benchmark microbenchmarks: single-threaded per-operation cost
+// of add/remove churn, contains hits and contains misses for every
+// variant at several list sizes. Complements the paper tables (which
+// measure contended throughput) with uncontended latency, isolating the
+// constant-factor overhead of prev maintenance and cursor bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "src/core/variants.hpp"
+
+namespace {
+
+using namespace pragmalist;
+
+template <typename List>
+void fill_evens(typename List::Handle& h, long n) {
+  for (long k = 0; k < n; ++k) h.add(2 * k);
+}
+
+/// Steady-state churn: remove + re-add one key in the middle.
+template <typename List>
+void BM_AddRemoveChurn(benchmark::State& state) {
+  List list;
+  auto h = list.make_handle();
+  const long n = state.range(0);
+  fill_evens<List>(h, n);
+  const long victim = n;  // middle even key
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.remove(victim));
+    benchmark::DoNotOptimize(h.add(victim));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+/// Membership hit on a present key (worst case: near the end).
+template <typename List>
+void BM_ContainsHit(benchmark::State& state) {
+  List list;
+  auto h = list.make_handle();
+  const long n = state.range(0);
+  fill_evens<List>(h, n);
+  const long probe = 2 * (n - 1);
+  for (auto _ : state) benchmark::DoNotOptimize(h.contains(probe));
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Membership miss between two present keys.
+template <typename List>
+void BM_ContainsMiss(benchmark::State& state) {
+  List list;
+  auto h = list.make_handle();
+  const long n = state.range(0);
+  fill_evens<List>(h, n);
+  const long probe = n | 1;  // odd => absent
+  for (auto _ : state) benchmark::DoNotOptimize(h.contains(probe));
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Ascending insertion of n keys into an empty list (then clear):
+/// the pattern where cursors shine even single-threaded.
+template <typename List>
+void BM_AscendingBuild(benchmark::State& state) {
+  const long n = state.range(0);
+  for (auto _ : state) {
+    List list;
+    auto h = list.make_handle();
+    for (long k = 0; k < n; ++k) benchmark::DoNotOptimize(h.add(k));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+#define PRAGMALIST_MICRO(bench)                                           \
+  BENCHMARK_TEMPLATE(bench, core::DraconicList)->Arg(64)->Arg(1024);      \
+  BENCHMARK_TEMPLATE(bench, core::SinglyList)->Arg(64)->Arg(1024);        \
+  BENCHMARK_TEMPLATE(bench, core::DoublyList)->Arg(64)->Arg(1024);        \
+  BENCHMARK_TEMPLATE(bench, core::SinglyCursorList)->Arg(64)->Arg(1024);  \
+  BENCHMARK_TEMPLATE(bench, core::SinglyFetchOrList)->Arg(64)->Arg(1024); \
+  BENCHMARK_TEMPLATE(bench, core::DoublyCursorList)->Arg(64)->Arg(1024);
+
+PRAGMALIST_MICRO(BM_AddRemoveChurn)
+PRAGMALIST_MICRO(BM_ContainsHit)
+PRAGMALIST_MICRO(BM_ContainsMiss)
+PRAGMALIST_MICRO(BM_AscendingBuild)
+
+BENCHMARK_MAIN();
