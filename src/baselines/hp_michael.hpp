@@ -1,0 +1,243 @@
+// Michael's lock-free list with hazard-pointer reclamation: nodes are
+// retired at unlink time and physically freed during the run, unlike
+// the paper variants' end-of-run arena. This is the price the paper's
+// §2 says the mild improvements would tolerate; bench_reclaim measures
+// it.
+//
+// Protocol (Michael, PODC'02/TPDS'04): three hazard pointers per
+// handle -- hp[0] the current node, hp[1] its successor, hp[2] the
+// predecessor node owning the `prev` cell. Every protection is
+// published then revalidated against the shared cell before use; any
+// mismatch restarts from the head (this list is draconic by
+// construction, as Michael's must be).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/debug.hpp"
+#include "src/core/iset.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::baselines {
+
+class HpMichaelList {
+  struct Node {
+    long key;
+    core::MarkPtr<Node> next;
+    Node* reg_next = nullptr;  // leftover-stack linkage, not an arena
+
+    explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
+  };
+
+  static constexpr int kMaxHandles = 256;
+  static constexpr int kHazardsPerHandle = 3;
+  static constexpr std::size_t kRetireThreshold = 64;
+
+  struct alignas(64) Slot {
+    std::array<std::atomic<Node*>, kHazardsPerHandle> hp{};
+    std::atomic<bool> active{false};
+  };
+
+ public:
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : list_(o.list_), slot_(o.slot_), retired_(std::move(o.retired_)),
+          ctr_(o.ctr_) {
+      o.list_ = nullptr;
+      o.retired_.clear();
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (list_ == nullptr) return;
+      // Remaining retirees may still be protected by other handles:
+      // park them on the list's leftover stack, freed at list teardown.
+      for (Node* n : retired_) list_->push_leftover(n);
+      for (auto& h : list_->slots_[slot_].hp)
+        h.store(nullptr, std::memory_order_release);
+      list_->slots_[slot_].active.store(false, std::memory_order_release);
+    }
+
+    bool add(long key) {
+      ++ctr_.add_calls;
+      const bool ok = list_->do_add(*this, key);
+      ctr_.adds += ok;
+      return ok;
+    }
+    bool remove(long key) {
+      ++ctr_.rem_calls;
+      const bool ok = list_->do_remove(*this, key);
+      ctr_.rems += ok;
+      return ok;
+    }
+    bool contains(long key) {
+      ++ctr_.con_calls;
+      const bool ok = list_->do_contains(*this, key);
+      ctr_.cons += ok;
+      return ok;
+    }
+    const core::OpCounters& counters() const { return ctr_; }
+
+   private:
+    friend class HpMichaelList;
+    Handle(HpMichaelList* list, int slot) : list_(list), slot_(slot) {}
+
+    HpMichaelList* list_;
+    int slot_;
+    std::vector<Node*> retired_;
+    core::OpCounters ctr_;
+  };
+
+  HpMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {}
+  HpMichaelList(const HpMichaelList&) = delete;
+  HpMichaelList& operator=(const HpMichaelList&) = delete;
+
+  ~HpMichaelList() {
+    // All handles are gone by now. Linked nodes (live or still-marked)
+    // and parked retirees are disjoint sets; free both.
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load().ptr;
+      delete n;
+      n = next;
+    }
+    Node* r = leftovers_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Node* next = r->reg_next;
+      delete r;
+      r = next;
+    }
+  }
+
+  Handle make_handle() {
+    for (int i = 0; i < kMaxHandles; ++i) {
+      bool expected = false;
+      if (slots_[i].active.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel))
+        return Handle(this, i);
+    }
+    PRAGMALIST_CHECK(false, "HpMichaelList: more than 256 live handles");
+    __builtin_unreachable();
+  }
+
+  bool validate(std::string* err) const {
+    return core::quiescent::validate_chain(head_, std::size_t{1} << 28, err);
+  }
+  std::size_t size() const { return core::quiescent::size(head_); }
+  std::vector<long> snapshot() const {
+    return core::quiescent::snapshot(head_);
+  }
+
+ private:
+  struct Pos {
+    core::MarkPtr<Node>* prev;  // cell, protected via hp[2] unless head
+    Node* cur;                  // protected via hp[0]
+    Node* succ;                 // protected via hp[1]
+  };
+
+  /// Michael's find: returns with cur == first node with key >= target
+  /// (or nullptr), *prev observed == cur, and hazards covering
+  /// pred/cur/succ.
+  Pos find(Handle& h, long key) {
+    auto& hp = slots_[h.slot_].hp;
+  try_again:
+    core::MarkPtr<Node>* prev = &head_->next;
+    hp[2].store(nullptr, std::memory_order_release);  // pred is the head
+    Node* cur = prev->load().ptr;
+    for (;;) {
+      if (cur == nullptr) return {prev, nullptr, nullptr};
+      hp[0].store(cur, std::memory_order_seq_cst);
+      {
+        const auto v = prev->load();
+        if (v.ptr != cur || v.marked) goto try_again;  // cur unprotected
+      }
+      const auto nv = cur->next.load();
+      hp[1].store(nv.ptr, std::memory_order_seq_cst);
+      const auto nv2 = cur->next.load();
+      if (nv2.ptr != nv.ptr || nv2.marked != nv.marked) goto try_again;
+      if (nv.marked) {
+        if (!prev->cas_clean(cur, nv.ptr)) goto try_again;
+        retire(h, cur);
+        cur = nv.ptr;  // still protected by hp[1]; re-pinned at loop top
+        continue;
+      }
+      if (cur->key >= key) return {prev, cur, nv.ptr};
+      prev = &cur->next;
+      hp[2].store(cur, std::memory_order_seq_cst);  // protect the pred
+      cur = nv.ptr;  // protected by hp[1]; hp[0] re-pinned at loop top
+    }
+  }
+
+  bool do_add(Handle& h, long key) {
+    Node* node = nullptr;
+    for (;;) {
+      const Pos p = find(h, key);
+      if (p.cur != nullptr && p.cur->key == key) {
+        delete node;  // not yet published, private
+        return false;
+      }
+      if (node == nullptr) node = new Node(key, p.cur);
+      node->next.store(p.cur);
+      if (p.prev->cas_clean(p.cur, node)) return true;
+    }
+  }
+
+  bool do_remove(Handle& h, long key) {
+    for (;;) {
+      const Pos p = find(h, key);
+      if (p.cur == nullptr || p.cur->key != key) return false;
+      if (!p.cur->next.cas_mark(p.succ)) continue;  // raced; re-find
+      if (p.prev->cas_clean(p.cur, p.succ))
+        retire(h, p.cur);
+      else
+        find(h, key);  // help: the next find sweeps and retires it
+      return true;
+    }
+  }
+
+  bool do_contains(Handle& h, long key) {
+    const Pos p = find(h, key);
+    return p.cur != nullptr && p.cur->key == key;
+  }
+
+  void retire(Handle& h, Node* n) {
+    h.retired_.push_back(n);
+    if (h.retired_.size() >= kRetireThreshold) scan(h);
+  }
+
+  /// Free every retiree no hazard pointer currently protects.
+  void scan(Handle& h) {
+    std::unordered_set<Node*> protected_nodes;
+    for (const auto& slot : slots_) {
+      if (!slot.active.load(std::memory_order_acquire)) continue;
+      for (const auto& hazard : slot.hp) {
+        Node* n = hazard.load(std::memory_order_acquire);
+        if (n != nullptr) protected_nodes.insert(n);
+      }
+    }
+    std::vector<Node*> keep;
+    keep.reserve(h.retired_.size());
+    for (Node* n : h.retired_) {
+      if (protected_nodes.count(n) != 0)
+        keep.push_back(n);
+      else
+        delete n;
+    }
+    h.retired_ = std::move(keep);
+  }
+
+  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
+
+  Node* head_;
+  std::array<Slot, kMaxHandles> slots_;
+  std::atomic<Node*> leftovers_{nullptr};
+};
+
+}  // namespace pragmalist::baselines

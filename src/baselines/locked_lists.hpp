@@ -1,0 +1,228 @@
+// Lock-based baselines for the --baselines rows of the paper tables:
+//
+//   CoarseLockList -- one mutex around a sequential list; the honest
+//     "just use a lock" yardstick.
+//   LazyLockList   -- Heller et al.'s lazy list: wait-free contains,
+//     hand-over-hand-free updates that lock only (pred, cur) and
+//     revalidate. Nodes carry an explicit `marked` flag; physical
+//     unlinking happens inside the critical section. Unlinked nodes are
+//     kept on a retire registry until list destruction because readers
+//     traverse without locks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/baselines/sequential_list.hpp"
+#include "src/core/iset.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::baselines {
+
+class CoarseLockList {
+ public:
+  class Handle {
+   public:
+    // The inner SequentialList keeps its own counters; those are
+    // simply never read -- each handle's ledger is authoritative.
+    bool add(long key) {
+      ++ctr_.add_calls;
+      std::lock_guard<std::mutex> g(list_->mu_);
+      const bool ok = list_->inner_.add(key);
+      ctr_.adds += ok;
+      return ok;
+    }
+    bool remove(long key) {
+      ++ctr_.rem_calls;
+      std::lock_guard<std::mutex> g(list_->mu_);
+      const bool ok = list_->inner_.remove(key);
+      ctr_.rems += ok;
+      return ok;
+    }
+    bool contains(long key) {
+      ++ctr_.con_calls;
+      std::lock_guard<std::mutex> g(list_->mu_);
+      const bool ok = list_->inner_.contains(key);
+      ctr_.cons += ok;
+      return ok;
+    }
+    const core::OpCounters& counters() const { return ctr_; }
+
+   private:
+    friend class CoarseLockList;
+    explicit Handle(CoarseLockList* list) : list_(list) {}
+    CoarseLockList* list_;
+    core::OpCounters ctr_;
+  };
+
+  Handle make_handle() { return Handle(this); }
+
+  bool validate(std::string* err) const { return inner_.validate(err); }
+  std::size_t size() const { return inner_.size(); }
+  std::vector<long> snapshot() const { return inner_.snapshot(); }
+
+ private:
+  mutable std::mutex mu_;
+  SequentialList inner_;
+};
+
+class LazyLockList {
+  struct Node {
+    long key;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    std::mutex mu;
+    Node* reg_next = nullptr;
+
+    explicit Node(long k) : key(k) {}
+  };
+
+ public:
+  class Handle {
+   public:
+    bool add(long key) {
+      ++ctr_.add_calls;
+      const bool ok = list_->do_add(key);
+      ctr_.adds += ok;
+      return ok;
+    }
+    bool remove(long key) {
+      ++ctr_.rem_calls;
+      const bool ok = list_->do_remove(key);
+      ctr_.rems += ok;
+      return ok;
+    }
+    bool contains(long key) {
+      ++ctr_.con_calls;
+      const bool ok = list_->do_contains(key);
+      ctr_.cons += ok;
+      return ok;
+    }
+    const core::OpCounters& counters() const { return ctr_; }
+
+   private:
+    friend class LazyLockList;
+    explicit Handle(LazyLockList* list) : list_(list) {}
+    LazyLockList* list_;
+    core::OpCounters ctr_;
+  };
+
+  LazyLockList() {
+    tail_ = track(new Node(std::numeric_limits<long>::max()));
+    head_ = track(new Node(std::numeric_limits<long>::min()));
+    head_->next.store(tail_, std::memory_order_relaxed);
+  }
+  LazyLockList(const LazyLockList&) = delete;
+  LazyLockList& operator=(const LazyLockList&) = delete;
+  ~LazyLockList() {
+    Node* n = retired_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* next = n->reg_next;
+      delete n;
+      n = next;
+    }
+  }
+
+  Handle make_handle() { return Handle(this); }
+
+  bool validate(std::string* err) const {
+    const Node* prev = head_;
+    std::size_t steps = 0;
+    for (const Node* n = head_->next.load(); n != tail_;
+         n = n->next.load()) {
+      if (n == nullptr) {
+        if (err) *err = "lazy list chain broke before tail";
+        return false;
+      }
+      if (++steps > 1u << 28) {
+        if (err) *err = "lazy list cycle";
+        return false;
+      }
+      if (prev != head_ && n->key <= prev->key) {
+        if (err) *err = "lazy list out of order";
+        return false;
+      }
+      prev = n;
+    }
+    return true;
+  }
+
+  std::size_t size() const {
+    std::size_t count = 0;
+    for (const Node* n = head_->next.load(); n != tail_;
+         n = n->next.load())
+      if (!n->marked.load(std::memory_order_relaxed)) ++count;
+    return count;
+  }
+
+  std::vector<long> snapshot() const {
+    std::vector<long> keys;
+    for (const Node* n = head_->next.load(); n != tail_;
+         n = n->next.load())
+      if (!n->marked.load(std::memory_order_relaxed)) keys.push_back(n->key);
+    return keys;
+  }
+
+ private:
+  Node* track(Node* n) {
+    core::push_intrusive(retired_, n);
+    return n;
+  }
+
+  bool still_linked(Node* pred, Node* cur) const {
+    return !pred->marked.load() && !cur->marked.load() &&
+           pred->next.load() == cur;
+  }
+
+  bool do_add(long key) {
+    for (;;) {
+      Node* pred = head_;
+      Node* cur = pred->next.load();
+      while (cur->key < key) {
+        pred = cur;
+        cur = cur->next.load();
+      }
+      std::scoped_lock lk(pred->mu, cur->mu);
+      if (!still_linked(pred, cur)) continue;
+      if (cur != tail_ && cur->key == key) return false;
+      Node* n = track(new Node(key));
+      n->next.store(cur, std::memory_order_relaxed);
+      pred->next.store(n, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool do_remove(long key) {
+    for (;;) {
+      Node* pred = head_;
+      Node* cur = pred->next.load();
+      while (cur->key < key) {
+        pred = cur;
+        cur = cur->next.load();
+      }
+      std::scoped_lock lk(pred->mu, cur->mu);
+      if (!still_linked(pred, cur)) continue;
+      if (cur == tail_ || cur->key != key) return false;
+      cur->marked.store(true, std::memory_order_release);  // logical
+      pred->next.store(cur->next.load(), std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool do_contains(long key) const {
+    const Node* cur = head_->next.load();
+    while (cur->key < key) cur = cur->next.load();
+    return cur != tail_ && cur->key == key &&
+           !cur->marked.load(std::memory_order_acquire);
+  }
+
+  Node* head_;
+  Node* tail_;
+  std::atomic<Node*> retired_{nullptr};  // doubles as the alloc registry
+};
+
+}  // namespace pragmalist::baselines

@@ -1,0 +1,25 @@
+// Runtime invariant checking that stays on in release builds: the bench
+// binaries refuse to report numbers from a corrupted structure, so the
+// check must not compile away under NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pragmalist::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* msg,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "PRAGMALIST_CHECK failed at %s:%d\n  expr: %s\n  %s\n",
+               file, line, expr, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pragmalist::detail
+
+#define PRAGMALIST_CHECK(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pragmalist::detail::check_failed(#cond, (msg), __FILE__, __LINE__); \
+  } while (0)

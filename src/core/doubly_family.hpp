@@ -1,0 +1,259 @@
+// The doubly-linked variants of the paper (c and f): the singly-linked
+// pragmatic list plus an unsynchronized back pointer per node. The back
+// pointer is a *hint*, never part of the correctness argument for
+// membership: it always points to some node with a strictly smaller key
+// (initially the insert predecessor), so following back pointers from a
+// dead node reaches a live node with key < target and the search can
+// resume there instead of at the head. That turns the mild variant's
+// restart-from-head on a failed cleanup CAS — and a handle's stale
+// cursor — into a short local walk.
+//
+// The kPreciseBack knob (ablation id `doubly_cursor_noprec` turns it
+// off) refreshes the survivor's back pointer after every successful
+// unlink/insert so hints stay one hop tight; imprecise mode leaves the
+// insert-time hint in place and walks farther on recovery.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/iset.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::core {
+
+template <Cursor kCursor, bool kPreciseBack>
+class DoublyFamilyList {
+  struct Node {
+    long key;
+    MarkPtr<Node> next;
+    std::atomic<Node*> back;
+    Node* reg_next = nullptr;
+
+    Node(long k, Node* succ, Node* pred) : key(k), next(succ), back(pred) {}
+  };
+
+ public:
+  class Handle {
+   public:
+    bool add(long key) {
+      ++ctr_.add_calls;
+      const bool ok = list_->do_add(*this, key);
+      ctr_.adds += ok;
+      return ok;
+    }
+    bool remove(long key) {
+      ++ctr_.rem_calls;
+      const bool ok = list_->do_remove(*this, key);
+      ctr_.rems += ok;
+      return ok;
+    }
+    bool contains(long key) {
+      ++ctr_.con_calls;
+      const bool ok = list_->do_contains(*this, key);
+      ctr_.cons += ok;
+      return ok;
+    }
+    const OpCounters& counters() const { return ctr_; }
+
+   private:
+    friend class DoublyFamilyList;
+    explicit Handle(DoublyFamilyList* list) : list_(list) {}
+
+    DoublyFamilyList* list_;
+    OpCounters ctr_;
+    Node* cursor_ = nullptr;
+  };
+
+  DoublyFamilyList() : head_(new Node(kSentinelKey, nullptr, nullptr)) {
+    registry_.track(head_);
+  }
+
+  Handle make_handle() { return Handle(this); }
+
+  // --- quiescent API ------------------------------------------------
+
+  bool validate(std::string* err) const {
+    if (!quiescent::validate_chain(head_, registry_.count() + 1, err))
+      return false;
+    // Back-pointer sanity: every linked node's hint has a strictly
+    // smaller key (or is the head sentinel).
+    for (const Node* n = head_->next.load_ptr(); n != nullptr;
+         n = n->next.load().ptr) {
+      const Node* b = n->back.load(std::memory_order_relaxed);
+      if (b == nullptr) {
+        if (err) *err = "node with null back pointer";
+        return false;
+      }
+      if (b != head_ && b->key >= n->key) {
+        if (err) *err = "back pointer does not decrease the key";
+        return false;
+      }
+    }
+    return true;
+  }
+  std::size_t size() const { return quiescent::size(head_); }
+  std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
+
+  /// Test-only: break the order invariant by swapping the keys of the
+  /// first two physically linked nodes (requires >= 2 nodes).
+  void corrupt_order_for_test() {
+    Node* a = head_->next.load_ptr();
+    if (a == nullptr) return;
+    Node* b = a->next.load_ptr();
+    if (b == nullptr) return;
+    std::swap(a->key, b->key);
+  }
+
+ private:
+  friend class Handle;
+
+  static constexpr long kSentinelKey = std::numeric_limits<long>::min();
+
+  struct Pos {
+    Node* prev;
+    Node* cur;
+  };
+
+  /// Walk back pointers from `n` until a live node (keys strictly
+  /// decrease along the chain, so this terminates at the head).
+  Node* recover(Node* n) const {
+    while (n != head_ && n->next.load().marked)
+      n = n->back.load(std::memory_order_acquire);
+    return n;
+  }
+
+  Node* start_node(Handle& h, long key) {
+    if constexpr (kCursor == Cursor::kPerHandle) {
+      Node* c = h.cursor_;
+      if (c != nullptr && c != head_ && c->key < key) {
+        c = recover(c);  // dead cursor: hop back instead of head restart
+        if (c == head_ || c->key < key) return c;
+      }
+      h.cursor_ = nullptr;
+    }
+    return head_;
+  }
+
+  void update_cursor(Handle& h, Node* n) {
+    if constexpr (kCursor == Cursor::kPerHandle) h.cursor_ = n;
+  }
+
+  Pos search(Handle& h, long key) {
+    Node* start = start_node(h, key);
+    for (;;) {
+      start = recover(start);
+      Node* prev = start;
+      const auto pv = prev->next.load();
+      if (pv.marked) continue;  // died between recover and load; loop
+      Node* left_next = pv.ptr;
+      Node* cur = left_next;
+      while (cur != nullptr) {
+        const auto cv = cur->next.load();
+        if (cv.marked) {
+          cur = cv.ptr;
+          continue;
+        }
+        if (cur->key >= key) break;
+        prev = cur;
+        left_next = cv.ptr;
+        cur = cv.ptr;
+      }
+      if (left_next == cur) return {prev, cur};
+      if (prev->next.cas_clean(left_next, cur)) {
+        if constexpr (kPreciseBack) {
+          if (cur != nullptr)
+            cur->back.store(prev, std::memory_order_release);
+        }
+        return {prev, cur};
+      }
+      // Cleanup CAS lost: resume from prev (recover() hops back if prev
+      // itself got marked) rather than from the head.
+      start = prev;
+    }
+  }
+
+  bool do_add(Handle& h, long key) {
+    Node* node = nullptr;
+    for (;;) {
+      const Pos p = search(h, key);
+      if (p.cur != nullptr && p.cur->key == key) {
+        update_cursor(h, p.prev);
+        return false;
+      }
+      if (node == nullptr) {
+        node = new Node(key, p.cur, p.prev);
+        registry_.track(node);
+      } else {
+        node->next.store(p.cur);
+        node->back.store(p.prev, std::memory_order_relaxed);
+      }
+      if (p.prev->next.cas_clean(p.cur, node)) {
+        if constexpr (kPreciseBack) {
+          if (p.cur != nullptr)
+            p.cur->back.store(node, std::memory_order_release);
+        }
+        update_cursor(h, node);
+        return true;
+      }
+    }
+  }
+
+  bool do_remove(Handle& h, long key) {
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) {
+      update_cursor(h, p.prev);
+      return false;
+    }
+    bool won = false;
+    Node* succ = nullptr;
+    for (;;) {
+      const auto cv = p.cur->next.load();
+      if (cv.marked) break;
+      if (p.cur->next.cas_mark(cv.ptr)) {
+        won = true;
+        succ = cv.ptr;
+        break;
+      }
+    }
+    update_cursor(h, p.prev);
+    if (!won) return false;
+    if (p.prev->next.cas_clean(p.cur, succ)) {
+      if constexpr (kPreciseBack) {
+        if (succ != nullptr)
+          succ->back.store(p.prev, std::memory_order_release);
+      }
+    }
+    return true;
+  }
+
+  bool do_contains(Handle& h, long key) {
+    Node* prev = start_node(h, key);
+    Node* cur = prev->next.load().ptr;
+    while (cur != nullptr) {
+      const auto cv = cur->next.load();
+      if (cv.marked) {
+        cur = cv.ptr;
+        continue;
+      }
+      if (cur->key >= key) break;
+      prev = cur;
+      cur = cv.ptr;
+    }
+    update_cursor(h, prev == head_ ? nullptr : prev);
+    return cur != nullptr && cur->key == key;
+  }
+
+  Node* head_;
+  AllocRegistry<Node> registry_;
+};
+
+using DoublyList = DoublyFamilyList<Cursor::kNone, true>;
+using DoublyCursorList = DoublyFamilyList<Cursor::kPerHandle, true>;
+using DoublyCursorNoPrecList = DoublyFamilyList<Cursor::kPerHandle, false>;
+
+}  // namespace pragmalist::core

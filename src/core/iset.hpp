@@ -1,0 +1,73 @@
+// Type-erased concurrent ordered-set interface the harness drives. Each
+// concrete structure exposes a thread-local Handle (per-thread cursor,
+// hazard slots, reclamation bags, op counters); the harness creates one
+// handle per worker thread through ISet::make_handle().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pragmalist::core {
+
+/// Per-handle operation ledger. `adds`/`rems`/`cons` count *successful*
+/// operations (add inserted, remove deleted, contains hit); the
+/// *_calls fields count attempts. The random-mix conservation check
+/// (prefill + adds - rems == population) depends on the success counts.
+struct OpCounters {
+  long adds = 0;
+  long rems = 0;
+  long cons = 0;
+  long add_calls = 0;
+  long rem_calls = 0;
+  long con_calls = 0;
+
+  long total_ops() const { return add_calls + rem_calls + con_calls; }
+
+  OpCounters& operator+=(const OpCounters& o) {
+    adds += o.adds;
+    rems += o.rems;
+    cons += o.cons;
+    add_calls += o.add_calls;
+    rem_calls += o.rem_calls;
+    con_calls += o.con_calls;
+    return *this;
+  }
+};
+
+/// A thread's view of a set. Not thread-safe: exactly one thread uses a
+/// given handle. Handles must not outlive their set.
+class ISetHandle {
+ public:
+  virtual ~ISetHandle() = default;
+  virtual bool add(long key) = 0;
+  virtual bool remove(long key) = 0;
+  virtual bool contains(long key) = 0;
+  virtual OpCounters counters() const = 0;
+};
+
+/// The shared structure. make_handle() may be called concurrently from
+/// worker threads; validate()/size()/snapshot() are quiescent-only
+/// (call after all workers joined).
+class ISet {
+ public:
+  virtual ~ISet() = default;
+
+  virtual std::unique_ptr<ISetHandle> make_handle() = 0;
+
+  /// Structural self-check. Returns false and fills *err (if non-null)
+  /// on a broken invariant (unsorted chain, duplicate live key, ...).
+  virtual bool validate(std::string* err) const = 0;
+
+  /// Number of live (logically present) keys.
+  virtual std::size_t size() const = 0;
+
+  /// Live keys in ascending order.
+  virtual std::vector<long> snapshot() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace pragmalist::core

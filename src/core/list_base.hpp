@@ -1,0 +1,235 @@
+// Shared machinery for the marked-pointer list variants:
+//
+//  * MarkPtr     -- an atomic next-pointer whose low bit is the Harris
+//                   deletion mark. Marking a node's *own* next pointer
+//                   logically deletes the node and simultaneously
+//                   poisons any in-flight CAS that expected the
+//                   unmarked value, which is what makes the pragmatic
+//                   variants safe without draconic traversal rules.
+//  * AllocRegistry -- the paper's reclamation scheme: every node ever
+//                   allocated is threaded onto a lock-free registry and
+//                   freed when the list is destroyed. Nothing is freed
+//                   (or reused) mid-run, so traversals may hold stale
+//                   pointers and CAS never suffers ABA. The
+//                   hazard-pointer and epoch baselines exist precisely
+//                   to price this choice against real reclamation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pragmalist::core {
+
+inline constexpr std::uintptr_t kMarkBit = 1;
+
+// Design knobs of the paper's variants; see singly_family.hpp for the
+// full semantics of each.
+enum class Traversal { kDraconic, kMild };
+enum class Marking { kCas, kFetchOr };
+enum class Cursor { kNone, kPerHandle };
+enum class Backoff { kNone, kExponential };
+
+/// Bounded exponential backoff for CAS retry loops (the ablation's
+/// `backoff` knob). Starts at 16 pause iterations, doubles to 1024.
+class Backoffer {
+ public:
+  void pause() {
+    for (std::uint32_t i = 0; i < (1u << shift_); ++i) cpu_relax();
+    if (shift_ < 10) ++shift_;
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+  std::uint32_t shift_ = 4;
+};
+
+template <typename Node>
+class MarkPtr {
+ public:
+  struct Value {
+    Node* ptr;
+    bool marked;
+  };
+
+  MarkPtr() : bits_(0) {}
+  explicit MarkPtr(Node* p) : bits_(reinterpret_cast<std::uintptr_t>(p)) {}
+
+  Value load(std::memory_order order = std::memory_order_acquire) const {
+    return unpack(bits_.load(order));
+  }
+
+  Node* load_ptr(std::memory_order order = std::memory_order_acquire) const {
+    return unpack(bits_.load(order)).ptr;
+  }
+
+  void store(Node* p, std::memory_order order = std::memory_order_release) {
+    bits_.store(pack(p, false), order);
+  }
+
+  /// CAS from the *unmarked* pointer `expected` to the unmarked pointer
+  /// `desired`. Fails if a mark appeared: this is the only way the
+  /// variants ever modify a next pointer, so a marked node's next is
+  /// frozen forever -- the key structural invariant.
+  bool cas_clean(Node* expected, Node* desired) {
+    std::uintptr_t e = pack(expected, false);
+    return bits_.compare_exchange_strong(e, pack(desired, false),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  /// CAS from the unmarked `expected` to the *marked* same pointer:
+  /// the logical-deletion step of the CAS-marking variants.
+  bool cas_mark(Node* expected) {
+    std::uintptr_t e = pack(expected, false);
+    return bits_.compare_exchange_strong(e, pack(expected, true),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  /// Unconditionally set the mark bit; returns the previous raw value.
+  /// One atomic instruction replaces the CAS retry loop -- the paper's
+  /// fetch-or marking variant (e). The caller owns the deletion iff the
+  /// bit was previously clear.
+  Value fetch_or_mark() {
+    return unpack(bits_.fetch_or(kMarkBit, std::memory_order_acq_rel));
+  }
+
+ private:
+  static std::uintptr_t pack(Node* p, bool marked) {
+    return reinterpret_cast<std::uintptr_t>(p) | (marked ? kMarkBit : 0);
+  }
+  static Value unpack(std::uintptr_t bits) {
+    return {reinterpret_cast<Node*>(bits & ~kMarkBit),
+            (bits & kMarkBit) != 0};
+  }
+
+  std::atomic<std::uintptr_t> bits_;
+};
+
+/// Treiber push of `n` onto the intrusive stack threaded through the
+/// nodes' `reg_next` field. Shared by the alloc registry and the
+/// baselines' retire/leftover stacks.
+template <typename Node>
+void push_intrusive(std::atomic<Node*>& head_atomic, Node* n) {
+  Node* head = head_atomic.load(std::memory_order_relaxed);
+  do {
+    n->reg_next = head;
+  } while (!head_atomic.compare_exchange_weak(head, n,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+}
+
+/// Lock-free registry of every node a list ever allocated (via the
+/// node's `reg_next` field); the owning list frees the lot on
+/// destruction. See file comment for why this is the paper's scheme.
+template <typename Node>
+class AllocRegistry {
+ public:
+  AllocRegistry() = default;
+  AllocRegistry(const AllocRegistry&) = delete;
+  AllocRegistry& operator=(const AllocRegistry&) = delete;
+
+  ~AllocRegistry() { free_all(); }
+
+  void track(Node* n) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    push_intrusive(head_, n);
+  }
+
+  std::size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  void free_all() {
+    Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* next = n->reg_next;
+      delete n;
+      n = next;
+    }
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> count_{0};
+};
+
+/// Quiescent walkers shared by the list variants. `Node` must expose
+/// `key` and a MarkPtr<Node> `next`.
+namespace quiescent {
+
+template <typename Node>
+std::vector<long> snapshot(const Node* head) {
+  std::vector<long> keys;
+  for (const Node* n = head->next.load_ptr(); n != nullptr;) {
+    const auto v = n->next.load();
+    if (!v.marked) keys.push_back(n->key);
+    n = v.ptr;
+  }
+  return keys;
+}
+
+template <typename Node>
+std::size_t size(const Node* head) {
+  std::size_t count = 0;
+  for (const Node* n = head->next.load_ptr(); n != nullptr;) {
+    const auto v = n->next.load();
+    if (!v.marked) ++count;
+    n = v.ptr;
+  }
+  return count;
+}
+
+/// Physical-chain invariants every marked-pointer variant must satisfy
+/// at quiescence:
+///   1. keys never decrease along the chain;
+///   2. of two adjacent equal keys at least one is marked (a dead
+///      node can linger next to its live replacement, on either side);
+///   3. no cycle (bounded by the number of tracked allocations).
+template <typename Node>
+bool validate_chain(const Node* head, std::size_t alloc_bound,
+                    std::string* err) {
+  const Node* prev = nullptr;
+  std::size_t steps = 0;
+  bool prev_marked = false;
+  for (const Node* n = head->next.load_ptr(); n != nullptr;) {
+    if (++steps > alloc_bound) {
+      if (err) *err = "cycle: chain longer than total allocations";
+      return false;
+    }
+    const auto v = n->next.load();
+    if (prev != nullptr) {
+      if (n->key < prev->key) {
+        if (err) {
+          std::ostringstream os;
+          os << "order violated: " << prev->key << " before " << n->key;
+          *err = os.str();
+        }
+        return false;
+      }
+      if (n->key == prev->key && !prev_marked && !v.marked) {
+        if (err) {
+          std::ostringstream os;
+          os << "duplicate live key " << n->key;
+          *err = os.str();
+        }
+        return false;
+      }
+    }
+    prev = n;
+    prev_marked = v.marked;
+    n = v.ptr;
+  }
+  return true;
+}
+
+}  // namespace quiescent
+}  // namespace pragmalist::core

@@ -1,0 +1,275 @@
+// The singly-linked variants of the paper, one engine templated on the
+// three design knobs the ablation bench isolates:
+//
+//   Traversal::kDraconic  -- Michael-style: a traversal may never pass a
+//     marked node; it must unlink it first and restart from the head
+//     whenever the unlink CAS fails. Readers pay for writers.
+//   Traversal::kMild      -- the paper's pragmatic rule: marked nodes
+//     are simply traversed; the whole dead run is swung out with one
+//     CAS right before the position is used, and contains() never
+//     performs a CAS at all.
+//   Marking::kCas / kFetchOr -- logical deletion via CAS-retry on the
+//     next pointer vs a single fetch_or of the mark bit (variant e).
+//   Cursor::kPerHandle    -- each handle remembers the last live node
+//     it stood on and starts the next search there when the target key
+//     is larger; safe because an unmarked node is always still linked
+//     and nodes are never freed mid-run.
+//   Backoff::kExponential -- exponential backoff on retry loops.
+//
+// Instantiations (paper letters): a) DraconicList, b) SinglyList,
+// d) SinglyCursorList, e) SinglyFetchOrList, plus the ablation-only
+// SinglyCursorBackoffList.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/iset.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::core {
+
+template <Traversal kTraversal, Marking kMarking, Cursor kCursor,
+          Backoff kBackoff>
+class SinglyFamilyList {
+  struct Node {
+    long key;
+    MarkPtr<Node> next;
+    Node* reg_next = nullptr;
+
+    explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
+  };
+
+ public:
+  class Handle {
+   public:
+    bool add(long key) {
+      ++ctr_.add_calls;
+      const bool ok = list_->do_add(*this, key);
+      ctr_.adds += ok;
+      return ok;
+    }
+    bool remove(long key) {
+      ++ctr_.rem_calls;
+      const bool ok = list_->do_remove(*this, key);
+      ctr_.rems += ok;
+      return ok;
+    }
+    bool contains(long key) {
+      ++ctr_.con_calls;
+      const bool ok = list_->do_contains(*this, key);
+      ctr_.cons += ok;
+      return ok;
+    }
+    const OpCounters& counters() const { return ctr_; }
+
+   private:
+    friend class SinglyFamilyList;
+    explicit Handle(SinglyFamilyList* list) : list_(list) {}
+
+    SinglyFamilyList* list_;
+    OpCounters ctr_;
+    Node* cursor_ = nullptr;
+  };
+
+  SinglyFamilyList() : head_(new Node(kSentinelKey)) {
+    registry_.track(head_);
+  }
+
+  Handle make_handle() { return Handle(this); }
+
+  // --- quiescent API ------------------------------------------------
+
+  bool validate(std::string* err) const {
+    return quiescent::validate_chain(head_, registry_.count() + 1, err);
+  }
+  std::size_t size() const { return quiescent::size(head_); }
+  std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
+
+  /// Test-only: break the order invariant by swapping the keys of the
+  /// first two physically linked nodes (requires >= 2 nodes).
+  void corrupt_order_for_test() {
+    Node* a = head_->next.load_ptr();
+    if (a == nullptr) return;
+    Node* b = a->next.load_ptr();
+    if (b == nullptr) return;
+    std::swap(a->key, b->key);
+  }
+
+ private:
+  friend class Handle;
+
+  static constexpr long kSentinelKey = std::numeric_limits<long>::min();
+
+  struct Pos {
+    Node* prev;  // live at observation, prev->next observed == cur
+    Node* cur;   // first live node with key >= target, or nullptr
+  };
+
+  Node* start_node(Handle& h, long key) {
+    if constexpr (kCursor == Cursor::kPerHandle) {
+      Node* c = h.cursor_;
+      if (c != nullptr && c != head_ && c->key < key &&
+          !c->next.load().marked) {
+        // Unmarked implies still physically linked (nodes are only ever
+        // unlinked after being marked), so the suffix from c is a valid
+        // place to begin.
+        return c;
+      }
+      h.cursor_ = nullptr;
+    }
+    return head_;
+  }
+
+  void update_cursor(Handle& h, Node* n) {
+    if constexpr (kCursor == Cursor::kPerHandle) h.cursor_ = n;
+  }
+
+  /// Locate `key` and guarantee physical adjacency prev->next == cur at
+  /// some observed instant (required before an insert or unlink CAS).
+  Pos search(Handle& h, long key) {
+    Backoffer bo;
+    Node* start = start_node(h, key);
+    for (;;) {
+      Node* prev = start;
+      const auto pv = prev->next.load();
+      if (pv.marked) {  // cursor start died between check and here
+        start = head_;
+        continue;
+      }
+      Node* left_next = pv.ptr;  // the value we will CAS against at prev
+      Node* cur = left_next;
+      bool restart = false;
+      while (cur != nullptr) {
+        const auto cv = cur->next.load();
+        if (cv.marked) {
+          if constexpr (kTraversal == Traversal::kDraconic) {
+            // Never step over a dead node: unlink it now or start over.
+            if (prev->next.cas_clean(cur, cv.ptr)) {
+              left_next = cv.ptr;
+              cur = cv.ptr;
+              continue;
+            }
+            restart = true;
+            break;
+          } else {
+            cur = cv.ptr;  // pragmatic: just walk through it
+            continue;
+          }
+        }
+        if (cur->key >= key) break;
+        prev = cur;
+        left_next = cv.ptr;
+        cur = cv.ptr;
+      }
+      if (!restart) {
+        if (left_next == cur) return {prev, cur};
+        // Swing the whole dead run [left_next..cur) out in one CAS.
+        if (prev->next.cas_clean(left_next, cur)) return {prev, cur};
+        restart = true;
+      }
+      if constexpr (kBackoff == Backoff::kExponential) bo.pause();
+      start = kTraversal == Traversal::kDraconic ? head_ : start_node(h, key);
+    }
+  }
+
+  bool do_add(Handle& h, long key) {
+    Backoffer bo;
+    Node* node = nullptr;
+    for (;;) {
+      const Pos p = search(h, key);
+      if (p.cur != nullptr && p.cur->key == key) {
+        update_cursor(h, p.prev);
+        return false;  // present (the node was live when observed)
+      }
+      if (node == nullptr) {
+        node = new Node(key, p.cur);
+        registry_.track(node);
+      } else {
+        node->next.store(p.cur);
+      }
+      if (p.prev->next.cas_clean(p.cur, node)) {
+        update_cursor(h, node);
+        return true;
+      }
+      if constexpr (kBackoff == Backoff::kExponential) bo.pause();
+    }
+  }
+
+  bool do_remove(Handle& h, long key) {
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) {
+      update_cursor(h, p.prev);
+      return false;
+    }
+    bool won = false;
+    Node* succ = nullptr;
+    if constexpr (kMarking == Marking::kFetchOr) {
+      const auto old = p.cur->next.fetch_or_mark();
+      won = !old.marked;
+      succ = old.ptr;
+    } else {
+      for (;;) {
+        const auto cv = p.cur->next.load();
+        if (cv.marked) break;  // another remover won
+        if (p.cur->next.cas_mark(cv.ptr)) {
+          won = true;
+          succ = cv.ptr;
+          break;
+        }
+      }
+    }
+    update_cursor(h, p.prev);
+    if (!won) return false;
+    // Physical unlink: one attempt in the mild variants (the next
+    // search will sweep it), mandatory help in the draconic one.
+    if (!p.prev->next.cas_clean(p.cur, succ)) {
+      if constexpr (kTraversal == Traversal::kDraconic) search(h, key);
+    }
+    return true;
+  }
+
+  bool do_contains(Handle& h, long key) {
+    if constexpr (kTraversal == Traversal::kDraconic) {
+      // Draconic readers help clean up (and pay the restarts for it).
+      const Pos p = search(h, key);
+      return p.cur != nullptr && p.cur->key == key;
+    } else {
+      Node* prev = start_node(h, key);
+      Node* cur = prev->next.load().ptr;
+      while (cur != nullptr) {
+        const auto cv = cur->next.load();
+        if (cv.marked) {
+          cur = cv.ptr;
+          continue;
+        }
+        if (cur->key >= key) break;
+        prev = cur;
+        cur = cv.ptr;
+      }
+      update_cursor(h, prev == head_ ? nullptr : prev);
+      return cur != nullptr && cur->key == key;
+    }
+  }
+
+  Node* head_;
+  AllocRegistry<Node> registry_;
+};
+
+using DraconicList = SinglyFamilyList<Traversal::kDraconic, Marking::kCas,
+                                      Cursor::kNone, Backoff::kNone>;
+using SinglyList = SinglyFamilyList<Traversal::kMild, Marking::kCas,
+                                    Cursor::kNone, Backoff::kNone>;
+using SinglyCursorList = SinglyFamilyList<Traversal::kMild, Marking::kCas,
+                                          Cursor::kPerHandle, Backoff::kNone>;
+using SinglyFetchOrList =
+    SinglyFamilyList<Traversal::kMild, Marking::kFetchOr, Cursor::kPerHandle,
+                     Backoff::kNone>;
+using SinglyCursorBackoffList =
+    SinglyFamilyList<Traversal::kMild, Marking::kCas, Cursor::kPerHandle,
+                     Backoff::kExponential>;
+
+}  // namespace pragmalist::core

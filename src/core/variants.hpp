@@ -1,0 +1,12 @@
+// Umbrella header: the six paper variants (a-f) plus the ablation-only
+// configurations, exactly as the bench layer names them.
+//
+//   a) DraconicList        e) SinglyFetchOrList
+//   b) SinglyList          f) DoublyCursorList
+//   c) DoublyList             SinglyCursorBackoffList (ablation)
+//   d) SinglyCursorList       DoublyCursorNoPrecList  (ablation)
+#pragma once
+
+#include "src/core/doubly_family.hpp"
+#include "src/core/iset.hpp"
+#include "src/core/singly_family.hpp"

@@ -1,0 +1,126 @@
+#include "src/harness/catalog.hpp"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/baselines/ebr_michael.hpp"
+#include "src/baselines/hp_michael.hpp"
+#include "src/baselines/locked_lists.hpp"
+#include "src/common/debug.hpp"
+#include "src/core/variants.hpp"
+#include "src/structures/skiplist.hpp"
+
+namespace pragmalist::harness {
+namespace {
+
+/// Adapts any concrete structure with the
+/// make_handle()/validate()/size()/snapshot() shape to core::ISet.
+template <typename Structure>
+class SetAdapter final : public core::ISet {
+  class HandleAdapter final : public core::ISetHandle {
+   public:
+    explicit HandleAdapter(typename Structure::Handle h)
+        : h_(std::move(h)) {}
+    bool add(long key) override { return h_.add(key); }
+    bool remove(long key) override { return h_.remove(key); }
+    bool contains(long key) override { return h_.contains(key); }
+    core::OpCounters counters() const override { return h_.counters(); }
+
+   private:
+    typename Structure::Handle h_;
+  };
+
+ public:
+  explicit SetAdapter(std::string_view id) : id_(id) {}
+
+  std::unique_ptr<core::ISetHandle> make_handle() override {
+    return std::make_unique<HandleAdapter>(inner_.make_handle());
+  }
+  bool validate(std::string* err) const override {
+    return inner_.validate(err);
+  }
+  std::size_t size() const override { return inner_.size(); }
+  std::vector<long> snapshot() const override { return inner_.snapshot(); }
+  std::string_view name() const override { return id_; }
+
+ private:
+  std::string_view id_;
+  Structure inner_;
+};
+
+struct Entry {
+  std::string_view id;
+  std::string_view letter;
+  std::unique_ptr<core::ISet> (*make)(std::string_view);
+};
+
+template <typename Structure>
+std::unique_ptr<core::ISet> make_adapter(std::string_view id) {
+  return std::make_unique<SetAdapter<Structure>>(id);
+}
+
+constexpr Entry kEntries[] = {
+    {"draconic", "a", &make_adapter<core::DraconicList>},
+    {"singly", "b", &make_adapter<core::SinglyList>},
+    {"doubly", "c", &make_adapter<core::DoublyList>},
+    {"singly_cursor", "d", &make_adapter<core::SinglyCursorList>},
+    {"singly_fetch_or", "e", &make_adapter<core::SinglyFetchOrList>},
+    {"doubly_cursor", "f", &make_adapter<core::DoublyCursorList>},
+    {"doubly_cursor_noprec", "-",
+     &make_adapter<core::DoublyCursorNoPrecList>},
+    {"singly_cursor_backoff", "-",
+     &make_adapter<core::SinglyCursorBackoffList>},
+    {"coarse_lock", "g", &make_adapter<baselines::CoarseLockList>},
+    {"lazy_lock", "h", &make_adapter<baselines::LazyLockList>},
+    {"hp_michael", "i", &make_adapter<baselines::HpMichaelList>},
+    {"ebr_michael", "j", &make_adapter<baselines::EbrMichaelList>},
+    {"skiplist", "k", &make_adapter<structures::SkipList>},
+    {"skiplist_draconic", "l", &make_adapter<structures::SkipListDraconic>},
+};
+
+}  // namespace
+
+std::unique_ptr<core::ISet> make_set(std::string_view id) {
+  for (const auto& entry : kEntries)
+    if (entry.id == id) return entry.make(entry.id);
+  std::string msg = "unknown variant '" + std::string(id) + "'; known:";
+  for (const auto& entry : kEntries) {
+    msg += ' ';
+    msg += entry.id;
+  }
+  PRAGMALIST_CHECK(false, msg.c_str());
+  __builtin_unreachable();
+}
+
+const std::vector<std::string_view>& paper_variant_ids() {
+  static const std::vector<std::string_view> ids = {
+      "draconic",      "singly",          "doubly",
+      "singly_cursor", "singly_fetch_or", "doubly_cursor",
+  };
+  return ids;
+}
+
+const std::vector<std::string_view>& figure_variant_ids() {
+  static const std::vector<std::string_view> ids = {
+      "draconic", "singly", "doubly", "singly_cursor", "doubly_cursor",
+  };
+  return ids;
+}
+
+const std::vector<std::string_view>& all_variant_ids() {
+  static const std::vector<std::string_view> ids = [] {
+    std::vector<std::string_view> v;
+    for (const auto& entry : kEntries) v.push_back(entry.id);
+    return v;
+  }();
+  return ids;
+}
+
+std::string_view variant_letter(std::string_view id) {
+  for (const auto& entry : kEntries)
+    if (entry.id == id) return entry.letter;
+  return "-";
+}
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,37 @@
+// Variant catalog: maps the string ids the bench binaries use to
+// concrete structures, type-erased behind core::ISet.
+//
+// Paper variants (table rows a-f):
+//   draconic, singly, doubly, singly_cursor, singly_fetch_or,
+//   doubly_cursor
+// Ablation-only: doubly_cursor_noprec, singly_cursor_backoff
+// Baselines: coarse_lock, lazy_lock, hp_michael, ebr_michael
+// Structures: skiplist, skiplist_draconic
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/iset.hpp"
+
+namespace pragmalist::harness {
+
+/// Construct the structure registered under `id`; aborts with the list
+/// of known ids on a typo.
+std::unique_ptr<core::ISet> make_set(std::string_view id);
+
+/// The six variants of the paper tables, in row order a-f.
+const std::vector<std::string_view>& paper_variant_ids();
+
+/// The five variants of the scaling figures (a, b, c, d, f).
+const std::vector<std::string_view>& figure_variant_ids();
+
+/// Every id make_set accepts (tests iterate this).
+const std::vector<std::string_view>& all_variant_ids();
+
+/// Paper row letter for an id ("a".."f"), successive letters for the
+/// baselines, "-" for anything unlettered.
+std::string_view variant_letter(std::string_view id);
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,97 @@
+#include "src/harness/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "src/common/debug.hpp"
+#include "src/harness/thread_team.hpp"
+#include "src/workload/distributions.hpp"
+#include "src/workload/rng.hpp"
+
+namespace pragmalist::harness {
+
+RunResult run_deterministic(core::ISet& set, int p, long n,
+                            workload::KeySchedule sched, bool pin) {
+  std::vector<core::OpCounters> counters(static_cast<std::size_t>(p));
+  const double ms = run_team(
+      p,
+      [&](int t) {
+        auto handle = set.make_handle();
+        for (long i = 0; i < n; ++i)
+          handle->add(workload::schedule_key(sched, t, i, p));
+        for (long i = 0; i < n; ++i)
+          handle->remove(workload::schedule_key(sched, t, i, p));
+        counters[static_cast<std::size_t>(t)] = handle->counters();
+      },
+      pin);
+
+  RunResult r;
+  r.ms = ms;
+  for (const auto& c : counters) r.agg += c;
+  r.total_ops = r.agg.total_ops();
+  return r;
+}
+
+RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
+                         long universe, workload::OpMix mix,
+                         std::uint64_t seed, bool pin, KeyDist dist) {
+  PRAGMALIST_CHECK(prefill <= universe,
+                   "cannot prefill more distinct keys than the universe");
+  PRAGMALIST_CHECK(mix.add_pct >= 0 && mix.rem_pct >= 0 &&
+                       mix.con_pct >= 0 &&
+                       mix.add_pct + mix.rem_pct + mix.con_pct == 100,
+                   "op mix percentages must be non-negative and sum to 100");
+  {
+    // Prefill on a scratch handle whose counters stay out of the
+    // aggregate: the population ledger is prefill + adds - rems.
+    auto handle = set.make_handle();
+    workload::Rng rng(workload::thread_seed(seed, -1));
+    long inserted = 0;
+    while (inserted < prefill) {
+      const auto key =
+          static_cast<long>(rng.below(static_cast<std::uint64_t>(universe)));
+      inserted += handle->add(key);
+    }
+  }
+
+  // The zipf generator's O(universe) setup must stay outside the timed
+  // region (it would be charged to the zipf rows but not the uniform
+  // ones); draws are const and stateless, so one instance is shared.
+  const workload::UniformKeys uniform(static_cast<std::uint64_t>(universe));
+  std::unique_ptr<const workload::ZipfKeys> zipf;
+  if (dist.kind == KeyDist::Kind::kZipf)
+    zipf = std::make_unique<workload::ZipfKeys>(
+        static_cast<std::uint64_t>(universe), dist.theta);
+
+  std::vector<core::OpCounters> counters(static_cast<std::size_t>(p));
+  const double ms = run_team(
+      p,
+      [&](int t) {
+        auto handle = set.make_handle();
+        workload::Rng rng(workload::thread_seed(seed, t));
+        for (long i = 0; i < c; ++i) {
+          const long key = zipf ? (*zipf)(rng) : uniform(rng);
+          switch (mix.pick(rng)) {
+            case workload::OpKind::kAdd:
+              handle->add(key);
+              break;
+            case workload::OpKind::kRemove:
+              handle->remove(key);
+              break;
+            case workload::OpKind::kContains:
+              handle->contains(key);
+              break;
+          }
+        }
+        counters[static_cast<std::size_t>(t)] = handle->counters();
+      },
+      pin);
+
+  RunResult r;
+  r.ms = ms;
+  for (const auto& c2 : counters) r.agg += c2;
+  r.total_ops = r.agg.total_ops();
+  return r;
+}
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,53 @@
+// The two workload drivers behind every paper table and figure:
+//
+//   run_deterministic -- the worst-case benchmark: every thread adds
+//     its n scheduled keys, then removes them (same or disjoint key
+//     schedules). Always drains the set.
+//   run_random_mix    -- prefill f keys, then p threads each run c
+//     operations drawn from an OpMix over a key universe, uniform or
+//     zipfian.
+//
+// Both create one handle per worker via ISet::make_handle() and
+// aggregate the handles' OpCounters into the RunResult.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/iset.hpp"
+#include "src/workload/op_mix.hpp"
+#include "src/workload/schedule.hpp"
+
+namespace pragmalist::harness {
+
+struct RunResult {
+  double ms = 0.0;
+  long total_ops = 0;
+  core::OpCounters agg;
+
+  /// Thousands of operations per second (ops per millisecond).
+  double kops_per_sec() const {
+    return ms > 0.0 ? static_cast<double>(total_ops) / ms : 0.0;
+  }
+};
+
+/// Key distribution selector for run_random_mix.
+struct KeyDist {
+  enum class Kind { kUniform, kZipf };
+  Kind kind = Kind::kUniform;
+  double theta = 0.0;
+
+  static KeyDist uniform() { return {}; }
+  static KeyDist zipf(double theta) {
+    return {Kind::kZipf, theta};
+  }
+};
+
+RunResult run_deterministic(core::ISet& set, int p, long n,
+                            workload::KeySchedule sched, bool pin);
+
+RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
+                         long universe, workload::OpMix mix,
+                         std::uint64_t seed, bool pin,
+                         KeyDist dist = KeyDist::uniform());
+
+}  // namespace pragmalist::harness

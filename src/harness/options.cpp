@@ -1,0 +1,93 @@
+#include "src/harness/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pragmalist::harness {
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  if (argc > 0) opt.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "options: ignoring stray argument '%s'\n",
+                   arg.c_str());
+      continue;
+    }
+    Flag flag;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flag.name = arg.substr(2, eq - 2);
+      flag.value = arg.substr(eq + 1);
+      flag.has_value = true;
+    } else {
+      flag.name = arg.substr(2);
+      // A following token that is not itself a flag is this flag's
+      // value ("--threads 8").
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flag.value = argv[++i];
+        flag.has_value = true;
+      }
+    }
+    opt.flags_.push_back(std::move(flag));
+  }
+  return opt;
+}
+
+const Options::Flag* Options::lookup(const std::string& name) const {
+  for (const auto& flag : flags_)
+    if (flag.name == name) return &flag;
+  return nullptr;
+}
+
+int Options::get_int(const std::string& name, int def) const {
+  return static_cast<int>(get_long(name, def));
+}
+
+namespace {
+
+/// strtol with a full-consumption check: "--c 1e6" or "--threads four"
+/// must not silently become 1 or 0.
+long parse_long_or_warn(const std::string& name, const std::string& value,
+                        long def) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr,
+                 "options: --%s value '%s' is not an integer; using %ld\n",
+                 name.c_str(), value.c_str(), def);
+    return def;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+long Options::get_long(const std::string& name, long def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  return parse_long_or_warn(name, flag->value, def);
+}
+
+bool Options::get_bool(const std::string& name) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr) return false;
+  if (!flag->has_value) return true;
+  return flag->value != "0" && flag->value != "false" && flag->value != "no";
+}
+
+std::vector<long> Options::get_long_list(const std::string& name,
+                                         const std::vector<long>& def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  std::vector<long> values;
+  std::stringstream ss(flag->value);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) values.push_back(parse_long_or_warn(name, item, 0));
+  return values.empty() ? def : values;
+}
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,44 @@
+// Tiny CLI parser for the bench binaries. Flags are `--name value`,
+// `--name=value`, or bare `--name` (boolean). Unknown flags warn but do
+// not abort, so every binary accepts the shared flag vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pragmalist::harness {
+
+class Options {
+ public:
+  static Options parse(int argc, char** argv);
+
+  /// Value of --name as int/long, or `def` when absent.
+  int get_int(const std::string& name, int def) const;
+  long get_long(const std::string& name, long def) const;
+
+  /// True when --name was given (with no value, or a value other than
+  /// "0"/"false"/"no").
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of longs (e.g. --threads 1,2,4), or `def`.
+  std::vector<long> get_long_list(const std::string& name,
+                                  const std::vector<long>& def) const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;  // empty for bare flags
+    bool has_value = false;
+  };
+
+  const Flag* lookup(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace pragmalist::harness

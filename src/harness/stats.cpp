@@ -1,0 +1,25 @@
+#include "src/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pragmalist::harness {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,18 @@
+// Summary statistics for repeated benchmark runs.
+#pragma once
+
+#include <vector>
+
+namespace pragmalist::harness {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace pragmalist::harness

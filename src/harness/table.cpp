@@ -1,0 +1,40 @@
+#include "src/harness/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace pragmalist::harness {
+
+void print_paper_table(std::ostream& os, const std::string& title,
+                       const std::vector<TableRow>& rows) {
+  std::size_t label_width = 12;
+  for (const auto& row : rows)
+    label_width = std::max(label_width, row.label.size());
+
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(static_cast<int>(label_width + 2)) << "variant"
+     << std::right << std::setw(12) << "ms" << std::setw(14) << "ops"
+     << std::setw(12) << "Kops/s" << std::setw(10) << "adds" << std::setw(10)
+     << "rems" << std::setw(12) << "con-hits" << "\n";
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    os << std::left << std::setw(static_cast<int>(label_width + 2))
+       << row.label << std::right << std::setw(12) << std::fixed
+       << std::setprecision(2) << r.ms << std::setw(14) << r.total_ops
+       << std::setw(12) << std::fixed << std::setprecision(1)
+       << r.kops_per_sec() << std::setw(10) << r.agg.adds << std::setw(10)
+       << r.agg.rems << std::setw(12) << r.agg.cons << "\n";
+  }
+}
+
+void write_csv(std::ostream& os, const std::vector<TableRow>& rows) {
+  os << "variant,ms,ops,kops_per_sec,adds,rems,con_hits\n";
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    os << row.label << ',' << r.ms << ',' << r.total_ops << ','
+       << r.kops_per_sec() << ',' << r.agg.adds << ',' << r.agg.rems << ','
+       << r.agg.cons << "\n";
+  }
+}
+
+}  // namespace pragmalist::harness

@@ -1,0 +1,25 @@
+// Paper-style result tables and their CSV twins.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/drivers.hpp"
+
+namespace pragmalist::harness {
+
+struct TableRow {
+  std::string label;
+  RunResult result;
+};
+
+/// Render rows the way the paper prints its tables: one variant per
+/// row with run time, throughput and the success counters.
+void print_paper_table(std::ostream& os, const std::string& title,
+                       const std::vector<TableRow>& rows);
+
+/// Machine-readable twin of print_paper_table.
+void write_csv(std::ostream& os, const std::vector<TableRow>& rows);
+
+}  // namespace pragmalist::harness

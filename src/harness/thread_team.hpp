@@ -1,0 +1,41 @@
+// Thread-team runner: spawn p workers, line them up behind a start
+// gate so thread creation is excluded from the measurement, release
+// them together, and report the wall time from release to last join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/common/affinity.hpp"
+
+namespace pragmalist::harness {
+
+/// Run `body(t)` on p threads (t = 0..p-1), optionally pinning thread t
+/// to CPU t modulo the machine size. Returns elapsed milliseconds over
+/// the measured region.
+template <typename Body>
+double run_team(int p, Body&& body, bool pin) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t) {
+    threads.emplace_back([&, t] {
+      if (pin) pin_current_thread(t);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body(t);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != p)
+    std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace pragmalist::harness

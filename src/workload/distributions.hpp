@@ -1,0 +1,72 @@
+// Key distributions for the random-mix benchmarks. The paper only uses
+// uniform keys; the zipfian generator backs the beyond-paper skew bench.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/rng.hpp"
+
+namespace pragmalist::workload {
+
+/// Uniform keys in [0, universe).
+class UniformKeys {
+ public:
+  explicit UniformKeys(std::uint64_t universe)
+      : universe_(universe == 0 ? 1 : universe) {}
+
+  long operator()(Rng& rng) const {
+    return static_cast<long>(rng.below(universe_));
+  }
+
+  std::uint64_t universe() const { return universe_; }
+
+ private:
+  std::uint64_t universe_;
+};
+
+/// Zipf(theta) over ranks 1..n mapped to keys 0..n-1, using the classic
+/// Gray et al. "quick zeta" inversion. Rank r has probability
+/// proportional to 1/r^theta; theta -> 0 degenerates to uniform.
+/// Construction is O(n) (one pass to compute zeta(n, theta)); draws are
+/// O(1). The hottest key is rank 1 == key 0.
+class ZipfKeys {
+ public:
+  ZipfKeys(std::uint64_t n, double theta)
+      : n_(n == 0 ? 1 : n),
+        // The Gray et al. inversion divides by (1 - theta); theta = 1
+        // exactly would degenerate to a point mass, so approximate it.
+        theta_(std::abs(1.0 - theta) < 1e-9 ? 1.0 - 1e-9 : theta) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  long operator()(Rng& rng) const {
+    const double u = rng.uniform01();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return static_cast<long>(rank >= n_ ? n_ - 1 : rank);
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, alpha_, eta_;
+};
+
+}  // namespace pragmalist::workload

@@ -1,0 +1,30 @@
+// Operation mixes for the random benchmarks: the paper's table mix
+// (10% add / 10% remove / 80% contains) and the scaling-figure mix
+// (25/25/50).
+#pragma once
+
+#include "src/workload/rng.hpp"
+
+namespace pragmalist::workload {
+
+enum class OpKind { kAdd, kRemove, kContains };
+
+struct OpMix {
+  int add_pct = 10;
+  int rem_pct = 10;
+  int con_pct = 80;
+
+  OpKind pick(Rng& rng) const {
+    const auto roll = static_cast<int>(rng.below(100));
+    if (roll < add_pct) return OpKind::kAdd;
+    if (roll < add_pct + rem_pct) return OpKind::kRemove;
+    return OpKind::kContains;
+  }
+};
+
+/// Tables 1-9 mix: read mostly.
+inline constexpr OpMix kTableMix{10, 10, 80};
+/// Figures 1-3 mix: update heavy.
+inline constexpr OpMix kScalingMix{25, 25, 50};
+
+}  // namespace pragmalist::workload

@@ -1,0 +1,74 @@
+// Deterministic, splittable randomness for the benchmark harness.
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, the
+// recommended seeding procedure: distinct per-thread streams from one
+// command-line seed without correlated low bits.
+#pragma once
+
+#include <cstdint>
+
+namespace pragmalist::workload {
+
+/// One splitmix64 step; also used to derive per-thread seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for thread `t` of a run seeded with `base`. Distinct threads get
+/// decorrelated streams; the same (base, t) always yields the same
+/// schedule, which the deterministic tests rely on.
+inline std::uint64_t thread_seed(std::uint64_t base, int t) {
+  std::uint64_t s = base ^ (0x632be59bd9b4e019ULL * (static_cast<std::uint64_t>(t) + 1));
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  return a ^ (b << 1);
+}
+
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 1) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias worth caring about here
+  /// (bound << 2^64); Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(operator()() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Default RNG alias the rest of the workload layer uses.
+using Rng = Xoshiro256StarStar;
+
+}  // namespace pragmalist::workload

@@ -1,0 +1,19 @@
+// Deterministic key schedules for the paper's worst-case benchmark:
+// every thread adds n keys then removes the same n keys, with keys
+// either shared across threads (k(i) = i) or disjoint (k(i) = t + i*p).
+#pragma once
+
+namespace pragmalist::workload {
+
+enum class KeySchedule {
+  kSameKeys,      // k(i) = i          (Tables 1/4/7)
+  kDisjointKeys,  // k(i) = t + i * p  (Tables 2/5/8)
+};
+
+/// Key i of thread t (of p threads) under `sched`.
+inline long schedule_key(KeySchedule sched, int t, long i, int p) {
+  return sched == KeySchedule::kSameKeys ? i
+                                         : static_cast<long>(t) + i * p;
+}
+
+}  // namespace pragmalist::workload

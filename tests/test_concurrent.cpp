@@ -1,0 +1,135 @@
+// Concurrent stress: disjoint-range ownership must leave exactly the
+// expected set; same-key hammering must preserve validate() and the
+// OpCounters population ledger; the deterministic driver must drain
+// every catalog structure to empty.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/catalog.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/harness/thread_team.hpp"
+#include "src/workload/op_mix.hpp"
+#include "src/workload/rng.hpp"
+
+namespace pragmalist {
+namespace {
+
+constexpr int kThreads = 4;
+
+class EveryVariant : public ::testing::TestWithParam<std::string_view> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, EveryVariant,
+    ::testing::ValuesIn(harness::all_variant_ids()),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      return std::string(info.param);
+    });
+
+// N threads, disjoint key ranges, partial removes: the survivors must
+// be exactly the union of what each thread kept.
+TEST_P(EveryVariant, DisjointRangesLeaveExpectedSet) {
+  auto set = harness::make_set(GetParam());
+  constexpr long kPerThread = 400;
+  harness::run_team(
+      kThreads,
+      [&](int t) {
+        auto h = set->make_handle();
+        const long base = t * kPerThread;
+        for (long i = 0; i < kPerThread; ++i)
+          ASSERT_TRUE(h->add(base + i));
+        for (long i = 0; i < kPerThread; i += 2)  // drop the evens
+          ASSERT_TRUE(h->remove(base + i));
+      },
+      /*pin=*/false);
+
+  std::string err;
+  ASSERT_TRUE(set->validate(&err)) << err;
+  std::vector<long> expected;
+  for (int t = 0; t < kThreads; ++t)
+    for (long i = 1; i < kPerThread; i += 2)
+      expected.push_back(t * kPerThread + i);
+  EXPECT_EQ(set->snapshot(), expected);
+  EXPECT_EQ(set->size(), expected.size());
+}
+
+// N threads hammering the same small universe: no invariant may break,
+// and prefill + successful adds - successful removes must equal the
+// surviving population exactly.
+TEST_P(EveryVariant, SameKeysConserveTheLedger) {
+  auto set = harness::make_set(GetParam());
+  constexpr long kUniverse = 64;
+  constexpr long kOps = 4000;
+  std::vector<core::OpCounters> counters(kThreads);
+  harness::run_team(
+      kThreads,
+      [&](int t) {
+        auto h = set->make_handle();
+        workload::Rng rng(workload::thread_seed(99, t));
+        for (long i = 0; i < kOps; ++i) {
+          const long k = static_cast<long>(rng.below(kUniverse));
+          switch (rng.below(4)) {
+            case 0:
+            case 1:
+              h->add(k);
+              break;
+            case 2:
+              h->remove(k);
+              break;
+            default:
+              h->contains(k);
+              break;
+          }
+        }
+        counters[static_cast<std::size_t>(t)] = h->counters();
+      },
+      /*pin=*/false);
+
+  std::string err;
+  ASSERT_TRUE(set->validate(&err)) << err;
+  core::OpCounters agg;
+  for (const auto& c : counters) agg += c;
+  EXPECT_EQ(static_cast<long>(set->size()), agg.adds - agg.rems);
+  EXPECT_EQ(agg.total_ops(), kThreads * kOps);
+  // Everything that survived must really be in the set.
+  for (const long k : set->snapshot()) {
+    auto h = set->make_handle();
+    EXPECT_TRUE(h->contains(k)) << "snapshot key " << k << " not found";
+  }
+}
+
+// The paper's deterministic benchmark drains the set: every thread adds
+// its n keys then removes them, with both key schedules.
+TEST_P(EveryVariant, DeterministicDriverDrainsTheSet) {
+  for (const auto sched : {workload::KeySchedule::kSameKeys,
+                           workload::KeySchedule::kDisjointKeys}) {
+    auto set = harness::make_set(GetParam());
+    const auto r =
+        harness::run_deterministic(*set, kThreads, 300, sched, false);
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << err;
+    EXPECT_EQ(set->size(), 0u);
+    EXPECT_EQ(r.agg.adds, r.agg.rems);
+    EXPECT_EQ(r.total_ops, kThreads * 2L * 300);
+  }
+}
+
+// The random-mix driver's ledger must balance for the six paper
+// variants under the table mix.
+TEST_P(EveryVariant, RandomMixDriverLedgerBalances) {
+  auto set = harness::make_set(GetParam());
+  const auto r = harness::run_random_mix(*set, kThreads, /*c=*/2000,
+                                         /*prefill=*/100, /*universe=*/512,
+                                         workload::kTableMix, /*seed=*/42,
+                                         /*pin=*/false);
+  std::string err;
+  ASSERT_TRUE(set->validate(&err)) << err;
+  EXPECT_EQ(set->size(),
+            static_cast<std::size_t>(100 + r.agg.adds - r.agg.rems));
+  EXPECT_EQ(r.total_ops, kThreads * 2000L);
+}
+
+}  // namespace
+}  // namespace pragmalist

@@ -1,0 +1,100 @@
+// Cursor regression: the cursor is a performance hint and must never
+// change set semantics. Drive every cursor-augmented lock-free list
+// through single-handle schedules (ascending build first -- the pattern
+// where the cursor actually short-circuits -- then mixed churn) and
+// demand op-for-op result equality with the SequentialCursorList
+// oracle; also cross-check two independent handles whose cursors
+// diverge on the same shared list.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
+
+namespace pragmalist {
+namespace {
+
+template <typename List>
+class CursorSemantics : public ::testing::Test {};
+
+using CursorLists =
+    ::testing::Types<core::SinglyCursorList, core::SinglyFetchOrList,
+                     core::DoublyCursorList, core::DoublyCursorNoPrecList,
+                     core::SinglyCursorBackoffList>;
+TYPED_TEST_SUITE(CursorSemantics, CursorLists);
+
+TYPED_TEST(CursorSemantics, AscendingBuildMatchesOracle) {
+  TypeParam list;
+  auto h = list.make_handle();
+  baselines::SequentialCursorList oracle;
+
+  for (long k = 0; k < 500; ++k) {
+    ASSERT_EQ(h.add(k), oracle.add(k)) << "add " << k;
+    // Re-adding the key the cursor sits on must still be rejected.
+    ASSERT_EQ(h.add(k), oracle.add(k)) << "re-add " << k;
+    // Membership probes around the cursor position.
+    ASSERT_EQ(h.contains(k), oracle.contains(k));
+    ASSERT_EQ(h.contains(k + 1), oracle.contains(k + 1));
+  }
+  EXPECT_EQ(list.snapshot(), oracle.snapshot());
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+}
+
+TYPED_TEST(CursorSemantics, MixedScheduleMatchesOracle) {
+  TypeParam list;
+  auto h = list.make_handle();
+  baselines::SequentialCursorList oracle;
+  workload::Rng rng(4242);
+
+  for (int i = 0; i < 6000; ++i) {
+    const long k = static_cast<long>(rng.below(128));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(h.add(k), oracle.add(k)) << "op " << i << " add " << k;
+        break;
+      case 1:
+        ASSERT_EQ(h.remove(k), oracle.remove(k))
+            << "op " << i << " remove " << k;
+        break;
+      default:
+        ASSERT_EQ(h.contains(k), oracle.contains(k))
+            << "op " << i << " contains " << k;
+        break;
+    }
+  }
+  EXPECT_EQ(list.snapshot(), oracle.snapshot());
+  EXPECT_EQ(list.size(), oracle.size());
+}
+
+// Two handles on one list have independent cursors; interleaving them
+// (one walking up, one walking down) must not perturb semantics.
+TYPED_TEST(CursorSemantics, TwoHandlesWithDivergentCursors) {
+  TypeParam list;
+  auto up = list.make_handle();
+  auto down = list.make_handle();
+  baselines::SequentialCursorList oracle;
+
+  for (long k = 0; k < 200; ++k) {
+    const long hi = 399 - k;
+    ASSERT_EQ(up.add(k), oracle.add(k));
+    ASSERT_EQ(down.add(hi), oracle.add(hi));
+  }
+  EXPECT_EQ(list.size(), 400u);
+  for (long k = 0; k < 200; ++k) {
+    const long hi = 399 - k;
+    ASSERT_EQ(up.remove(k), oracle.remove(k));
+    ASSERT_EQ(down.contains(k), oracle.contains(k));
+    ASSERT_EQ(down.remove(hi), oracle.remove(hi));
+    ASSERT_EQ(up.contains(hi), oracle.contains(hi));
+  }
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.snapshot(), oracle.snapshot());
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace pragmalist

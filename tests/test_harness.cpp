@@ -1,0 +1,180 @@
+// Harness and workload unit tests: options parsing, catalog wiring,
+// RNG determinism, distributions, op mixes, stats, table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/catalog.hpp"
+#include "src/harness/options.hpp"
+#include "src/harness/stats.hpp"
+#include "src/harness/table.hpp"
+#include "src/workload/distributions.hpp"
+#include "src/workload/op_mix.hpp"
+#include "src/workload/rng.hpp"
+#include "src/workload/schedule.hpp"
+
+namespace pragmalist {
+namespace {
+
+harness::Options parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : args) argv.push_back(a.data());
+  return harness::Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesSpaceAndEqualsAndBareFlags) {
+  const auto opt =
+      parse({"--threads", "8", "--n=1234", "--paper", "--no-pin"});
+  EXPECT_EQ(opt.get_int("threads", 1), 8);
+  EXPECT_EQ(opt.get_long("n", 0), 1234);
+  EXPECT_TRUE(opt.get_bool("paper"));
+  EXPECT_TRUE(opt.get_bool("no-pin"));
+  EXPECT_FALSE(opt.get_bool("absent"));
+  EXPECT_EQ(opt.get_int("absent", 42), 42);
+}
+
+TEST(Options, ParsesLongLists) {
+  const auto opt = parse({"--threads", "1,2,4,8"});
+  EXPECT_EQ(opt.get_long_list("threads", {}),
+            (std::vector<long>{1, 2, 4, 8}));
+  EXPECT_EQ(opt.get_long_list("missing", {3, 5}),
+            (std::vector<long>{3, 5}));
+}
+
+TEST(Catalog, PaperVariantsAreTheSixRows) {
+  const auto& ids = harness::paper_variant_ids();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(harness::variant_letter(ids[0]), "a");
+  EXPECT_EQ(harness::variant_letter(ids[5]), "f");
+  EXPECT_EQ(harness::figure_variant_ids().size(), 5u);
+  EXPECT_EQ(harness::variant_letter("nonsense"), "-");
+}
+
+TEST(Catalog, EveryIdConstructsAWorkingSet) {
+  for (const auto id : harness::all_variant_ids()) {
+    auto set = harness::make_set(id);
+    ASSERT_NE(set, nullptr) << id;
+    EXPECT_EQ(set->name(), id);
+    auto h = set->make_handle();
+    EXPECT_TRUE(h->add(1));
+    EXPECT_TRUE(h->add(2));
+    EXPECT_FALSE(h->add(1));
+    EXPECT_TRUE(h->contains(2));
+    EXPECT_TRUE(h->remove(1));
+    EXPECT_EQ(set->size(), 1u);
+    std::string err;
+    EXPECT_TRUE(set->validate(&err)) << id << ": " << err;
+  }
+}
+
+TEST(Rng, DeterministicAndSeedSplit) {
+  workload::Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) differs |= (a() != c());
+  EXPECT_TRUE(differs);
+  EXPECT_NE(workload::thread_seed(42, 0), workload::thread_seed(42, 1));
+  EXPECT_EQ(workload::thread_seed(42, 3), workload::thread_seed(42, 3));
+}
+
+TEST(Rng, BelowStaysInRange) {
+  workload::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Distributions, UniformCoversTheUniverse) {
+  workload::Rng rng(9);
+  const workload::UniformKeys keys(32);
+  std::vector<int> seen(32, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = keys(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 32);
+    ++seen[static_cast<std::size_t>(k)];
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_GT(seen[i], 0) << "key " << i;
+}
+
+TEST(Distributions, ZipfIsSkewedAndInRange) {
+  workload::Rng rng(11);
+  const workload::ZipfKeys keys(1024, 0.99);
+  long hot = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const long k = keys(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1024);
+    hot += (k == 0);
+  }
+  // Rank 1 of zipf(0.99) over 1024 keys carries ~13% of the mass;
+  // uniform would give ~0.1%.
+  EXPECT_GT(hot, 20000 / 50);
+}
+
+TEST(OpMix, PercentagesAreRespected) {
+  workload::Rng rng(13);
+  const workload::OpMix mix{25, 25, 50};
+  int add = 0, rem = 0, con = 0;
+  for (int i = 0; i < 40000; ++i) {
+    switch (mix.pick(rng)) {
+      case workload::OpKind::kAdd: ++add; break;
+      case workload::OpKind::kRemove: ++rem; break;
+      case workload::OpKind::kContains: ++con; break;
+    }
+  }
+  EXPECT_NEAR(add, 10000, 600);
+  EXPECT_NEAR(rem, 10000, 600);
+  EXPECT_NEAR(con, 20000, 800);
+  EXPECT_EQ(workload::kTableMix.con_pct, 80);
+  EXPECT_EQ(workload::kScalingMix.add_pct, 25);
+}
+
+TEST(Schedule, SameAndDisjointKeys) {
+  using workload::KeySchedule;
+  EXPECT_EQ(workload::schedule_key(KeySchedule::kSameKeys, 3, 17, 8), 17);
+  EXPECT_EQ(workload::schedule_key(KeySchedule::kDisjointKeys, 3, 17, 8),
+            3 + 17 * 8);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const auto s = harness::summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(harness::summarize({}).n, 0u);
+}
+
+TEST(Table, RendersRowsAndCsv) {
+  harness::RunResult r;
+  r.ms = 12.5;
+  r.agg.adds = 10;
+  r.agg.add_calls = 12;
+  r.total_ops = 12;
+  const std::vector<harness::TableRow> rows = {{"a) draconic", r}};
+  std::ostringstream table;
+  harness::print_paper_table(table, "title", rows);
+  EXPECT_NE(table.str().find("a) draconic"), std::string::npos);
+  EXPECT_NE(table.str().find("title"), std::string::npos);
+  std::ostringstream csv;
+  harness::write_csv(csv, rows);
+  EXPECT_NE(csv.str().find("variant,ms,ops"), std::string::npos);
+  EXPECT_NE(csv.str().find("a) draconic,12.5,12"), std::string::npos);
+}
+
+TEST(OpCounters, Aggregation) {
+  core::OpCounters a, b;
+  a.adds = 1;
+  a.add_calls = 2;
+  b.rems = 3;
+  b.rem_calls = 4;
+  b.con_calls = 5;
+  a += b;
+  EXPECT_EQ(a.adds, 1);
+  EXPECT_EQ(a.rems, 3);
+  EXPECT_EQ(a.total_ops(), 11);
+}
+
+}  // namespace
+}  // namespace pragmalist

@@ -1,0 +1,125 @@
+// Sequential set semantics for all six paper variants and both
+// sequential baselines: ordered iteration, duplicate adds rejected,
+// remove-absent false, counters ledger, interleaved churn against a
+// std::set oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
+
+namespace pragmalist {
+namespace {
+
+using test::DirectFacade;
+using test::HandleFacade;
+using test::sorted_unique;
+
+template <typename Facade>
+class SequentialSemantics : public ::testing::Test {};
+
+using AllStructures = ::testing::Types<
+    HandleFacade<core::DraconicList>, HandleFacade<core::SinglyList>,
+    HandleFacade<core::DoublyList>, HandleFacade<core::SinglyCursorList>,
+    HandleFacade<core::SinglyFetchOrList>,
+    HandleFacade<core::DoublyCursorList>,
+    DirectFacade<baselines::SequentialList>,
+    DirectFacade<baselines::SequentialCursorList>>;
+TYPED_TEST_SUITE(SequentialSemantics, AllStructures);
+
+TYPED_TEST(SequentialSemantics, EmptyList) {
+  TypeParam s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.snapshot().empty());
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_FALSE(s.remove(7));
+  std::string err;
+  EXPECT_TRUE(s.validate(&err)) << err;
+}
+
+TYPED_TEST(SequentialSemantics, OrderedIteration) {
+  TypeParam s;
+  const std::vector<long> keys = {41, 7, 99, 0, 23, 58, 12, 3, 77, 31};
+  for (const long k : keys) EXPECT_TRUE(s.add(k));
+  EXPECT_EQ(s.snapshot(), sorted_unique(keys));
+  EXPECT_EQ(s.size(), keys.size());
+  std::string err;
+  EXPECT_TRUE(s.validate(&err)) << err;
+}
+
+TYPED_TEST(SequentialSemantics, DuplicateAddRejected) {
+  TypeParam s;
+  EXPECT_TRUE(s.add(5));
+  EXPECT_FALSE(s.add(5));
+  EXPECT_TRUE(s.add(6));
+  EXPECT_FALSE(s.add(5));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.counters().adds, 2);
+  EXPECT_EQ(s.counters().add_calls, 4);
+}
+
+TYPED_TEST(SequentialSemantics, RemoveAbsentFalse) {
+  TypeParam s;
+  EXPECT_TRUE(s.add(10));
+  EXPECT_FALSE(s.remove(11));
+  EXPECT_TRUE(s.remove(10));
+  EXPECT_FALSE(s.remove(10));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.counters().rems, 1);
+  EXPECT_EQ(s.counters().rem_calls, 3);
+}
+
+TYPED_TEST(SequentialSemantics, RemoveThenReAdd) {
+  TypeParam s;
+  for (long k = 0; k < 16; ++k) EXPECT_TRUE(s.add(k));
+  for (long k = 0; k < 16; k += 2) EXPECT_TRUE(s.remove(k));
+  for (long k = 0; k < 16; k += 2) EXPECT_FALSE(s.contains(k));
+  for (long k = 1; k < 16; k += 2) EXPECT_TRUE(s.contains(k));
+  for (long k = 0; k < 16; k += 2) EXPECT_TRUE(s.add(k));
+  EXPECT_EQ(s.size(), 16u);
+  std::string err;
+  EXPECT_TRUE(s.validate(&err)) << err;
+}
+
+TYPED_TEST(SequentialSemantics, MatchesStdSetOracle) {
+  TypeParam s;
+  std::set<long> oracle;
+  workload::Rng rng(2026);
+  for (int i = 0; i < 4000; ++i) {
+    const long k = static_cast<long>(rng.below(64));
+    switch (rng.below(3)) {
+      case 0:
+        EXPECT_EQ(s.add(k), oracle.insert(k).second);
+        break;
+      case 1:
+        EXPECT_EQ(s.remove(k), oracle.erase(k) > 0);
+        break;
+      default:
+        EXPECT_EQ(s.contains(k), oracle.count(k) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(s.snapshot(), std::vector<long>(oracle.begin(), oracle.end()));
+  std::string err;
+  EXPECT_TRUE(s.validate(&err)) << err;
+}
+
+TYPED_TEST(SequentialSemantics, CountersConserveThePopulation) {
+  TypeParam s;
+  workload::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const long k = static_cast<long>(rng.below(40));
+    if (rng.below(2) == 0)
+      s.add(k);
+    else
+      s.remove(k);
+  }
+  const auto c = s.counters();
+  EXPECT_EQ(static_cast<long>(s.size()), c.adds - c.rems);
+  EXPECT_EQ(c.add_calls + c.rem_calls, 2000);
+}
+
+}  // namespace
+}  // namespace pragmalist

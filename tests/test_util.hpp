@@ -1,0 +1,50 @@
+// Shared helpers for the pragmalist test suite.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/baselines/sequential_list.hpp"
+#include "src/core/variants.hpp"
+
+namespace pragmalist::test {
+
+/// Uniform single-threaded facade over both API styles: the lock-free
+/// lists (operations live on a per-thread Handle) and the sequential
+/// baselines (operations live on the list itself). Gives the typed
+/// tests one shape for all eight structures.
+template <typename List>
+struct HandleFacade {
+  List list;
+  typename List::Handle h{list.make_handle()};
+
+  bool add(long k) { return h.add(k); }
+  bool remove(long k) { return h.remove(k); }
+  bool contains(long k) { return h.contains(k); }
+  core::OpCounters counters() const { return h.counters(); }
+  std::vector<long> snapshot() const { return list.snapshot(); }
+  std::size_t size() const { return list.size(); }
+  bool validate(std::string* err) const { return list.validate(err); }
+};
+
+template <typename List>
+struct DirectFacade {
+  List list;
+
+  bool add(long k) { return list.add(k); }
+  bool remove(long k) { return list.remove(k); }
+  bool contains(long k) { return list.contains(k); }
+  core::OpCounters counters() const { return list.counters(); }
+  std::vector<long> snapshot() const { return list.snapshot(); }
+  std::size_t size() const { return list.size(); }
+  bool validate(std::string* err) const { return list.validate(err); }
+};
+
+inline std::vector<long> sorted_unique(std::vector<long> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace pragmalist::test
