@@ -1,43 +1,120 @@
-// Memory-reclamation cost comparison: the arena-backed mild list
-// (paper setup, reclamation deferred to the end of the run) vs the
-// hazard-pointer Michael list (nodes reclaimed during the run) vs the
-// lock-based lazy list (retire lists). Quantifies what the paper's
-// "simple memory reclamation after each experiment" buys, and what
-// §2's claim that the mild improvements tolerate standard schemes
-// costs in practice.
+// Memory-reclamation cost comparison, two views:
 //
-//   bench_reclaim [--threads P] [--c OPS] [--no-pin]
+//  1. The variant x reclaimer grid: each paper variant under the
+//     paper's arena (reclamation deferred to the end of the run) vs
+//     epoch-based vs hazard-pointer reclamation from src/reclaim/.
+//     Quantifies what the paper's "simple memory reclamation after
+//     each experiment" buys, and what §2's claim that the mild
+//     improvements tolerate standard schemes costs in practice --
+//     note how the pragmatic traversal keeps its shape under EBR but
+//     pays anchored revalidation per step under HP.
+//  2. Reference rows: the draconic Michael baselines on the same
+//     shared reclaim domains, plus the lock-based lazy list.
+//
+// Both views also report the peak node footprint (allocated minus
+// freed after the run): the arena's grows with every insert, the
+// reclaiming schemes' stays near the live set.
+//
+//   bench_reclaim [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
+//                 [--variants a,c,e | all] [--no-pin]
+#include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/harness/drivers.hpp"
 #include "src/workload/op_mix.hpp"
+
+namespace {
+
+struct Cell {
+  pragmalist::harness::RunResult result;
+  std::size_t footprint = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pragmalist;
   const auto opt = harness::Options::parse(argc, argv);
   const int p = bench::default_threads(opt, 16);
   const long c = opt.get_long("c", 25000);
+  const long universe = opt.get_long("u", 4096);
+  const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
   const bool pin = !opt.get_bool("no-pin");
   // Update-heavy mix to stress retirement: 25/25/50.
   const workload::OpMix mix = workload::kScalingMix;
 
-  std::vector<harness::TableRow> rows;
-  for (const std::string_view id :
-       {std::string_view("singly"), std::string_view("hp_michael"),
-        std::string_view("ebr_michael"), std::string_view("lazy_lock")}) {
-    auto set = harness::make_set(id);
-    auto result = harness::run_random_mix(*set, p, c, /*f=*/1000,
-                                          /*universe=*/4096, mix,
-                                          /*seed=*/42, pin);
-    bench::check_valid(*set);
-    rows.push_back({std::string(id), result});
+  // --variants takes paper row letters (a,c,e) or ids, default all six.
+  std::vector<std::string_view> variants;
+  {
+    const std::string sel = opt.get_string("variants", "all");
+    std::vector<std::string> tokens;
+    std::stringstream ss(sel);
+    for (std::string item; std::getline(ss, item, ',');)
+      if (!item.empty()) tokens.push_back(item);
+    for (const std::string_view id : harness::paper_variant_ids()) {
+      bool wanted = sel == "all";
+      for (const auto& tok : tokens)
+        wanted |= tok == id || tok == harness::variant_letter(id);
+      if (wanted) variants.push_back(id);
+    }
+    PRAGMALIST_CHECK(!variants.empty(),
+                     "--variants matched none of the paper rows a-f");
   }
+  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
 
+  auto run_one = [&](std::string_view id) {
+    auto set = harness::make_set(id);
+    Cell cell;
+    cell.result = harness::run_random_mix(*set, p, c, /*f=*/1000, universe,
+                                          mix, seed, pin);
+    bench::check_valid(*set);
+    cell.footprint = set->allocated_nodes();
+    return cell;
+  };
+
+  // --- view 1: variant x reclaimer grid ------------------------------
+  std::cout << "Reclamation grid, mix 25/25/50, p=" << p << ", c=" << c
+            << ", u=" << universe
+            << " (kops/s; fp = nodes still allocated after the run)\n\n";
+  std::cout << std::left << std::setw(22) << "variant";
+  for (const auto r : reclaimers)
+    std::cout << std::right << std::setw(12) << r << std::setw(10) << "fp";
+  std::cout << "\n";
+
+  std::vector<harness::TableRow> csv_rows;
+  for (const auto v : variants) {
+    std::cout << std::left << std::setw(22) << bench::row_label(v);
+    for (const auto r : reclaimers) {
+      const std::string id =
+          r == "arena" ? std::string(v) : std::string(v) + "/" + std::string(r);
+      const Cell cell = run_one(id);
+      std::cout << std::right << std::setw(12) << std::fixed
+                << std::setprecision(0) << cell.result.kops_per_sec()
+                << std::setw(10) << cell.footprint;
+      csv_rows.push_back({std::string(v) + "/" + std::string(r), cell.result});
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  // --- view 2: reference rows ---------------------------------------
+  std::vector<harness::TableRow> ref_rows;
+  for (const std::string_view id :
+       {std::string_view("hp_michael"), std::string_view("ebr_michael"),
+        std::string_view("lazy_lock")}) {
+    const Cell cell = run_one(id);
+    ref_rows.push_back({std::string(id), cell.result});
+  }
   std::ostringstream title;
-  title << "Reclamation schemes, mix 25/25/50, p=" << p << ", c=" << c
-        << " (arena vs hazard pointers vs lock-based retire)";
-  harness::print_paper_table(std::cout, title.str(), rows);
+  title << "Reference baselines (shared reclaim domains), p=" << p
+        << ", c=" << c;
+  harness::print_paper_table(std::cout, title.str(), ref_rows);
+
+  csv_rows.insert(csv_rows.end(), ref_rows.begin(), ref_rows.end());
+  bench::emit_csv("bench_reclaim.csv", csv_rows);
   return 0;
 }

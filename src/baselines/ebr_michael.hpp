@@ -3,21 +3,19 @@
 // with the epoch they died in and freed once every pinned handle has
 // moved at least two epochs past it. Cheaper per-access than hazard
 // pointers (no per-step publish/validate), at the cost of reclamation
-// stalling whenever a thread parks inside a critical section.
+// stalling whenever a thread parks inside a critical section. The
+// slot/epoch/limbo machinery lives in reclaim::Ebr, shared with the
+// `<variant>/ebr` catalog combinations.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "src/common/debug.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
+#include "src/reclaim/ebr.hpp"
 
 namespace pragmalist::baselines {
 
@@ -30,49 +28,28 @@ class EbrMichaelList {
     explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
   };
 
-  static constexpr int kMaxHandles = 256;
-  static constexpr std::size_t kRetireThreshold = 128;
-
-  struct alignas(64) Slot {
-    std::atomic<std::uint64_t> epoch{0};
-    std::atomic<bool> pinned{false};
-    std::atomic<bool> active{false};
-  };
+  using Domain = reclaim::Ebr<Node>;
 
  public:
   class Handle {
    public:
-    Handle(Handle&& o) noexcept
-        : list_(o.list_), slot_(o.slot_), limbo_(std::move(o.limbo_)),
-          ctr_(o.ctr_) {
-      o.list_ = nullptr;
-      o.limbo_.clear();
-    }
-    Handle(const Handle&) = delete;
-    Handle& operator=(const Handle&) = delete;
-    ~Handle() {
-      if (list_ == nullptr) return;
-      for (const auto& [node, epoch] : limbo_) list_->push_leftover(node);
-      list_->slots_[slot_].active.store(false, std::memory_order_release);
-    }
-
     bool add(long key) {
       ++ctr_.add_calls;
-      Pin pin(*this);
+      auto pin = rh_.guard();
       const bool ok = list_->do_add(*this, key);
       ctr_.adds += ok;
       return ok;
     }
     bool remove(long key) {
       ++ctr_.rem_calls;
-      Pin pin(*this);
+      auto pin = rh_.guard();
       const bool ok = list_->do_remove(*this, key);
       ctr_.rems += ok;
       return ok;
     }
     bool contains(long key) {
       ++ctr_.con_calls;
-      Pin pin(*this);
+      auto pin = rh_.guard();
       const bool ok = list_->do_contains(key);
       ctr_.cons += ok;
       return ok;
@@ -81,27 +58,17 @@ class EbrMichaelList {
 
    private:
     friend class EbrMichaelList;
-    Handle(EbrMichaelList* list, int slot) : list_(list), slot_(slot) {}
-
-    /// RAII epoch pin around one operation.
-    struct Pin {
-      explicit Pin(Handle& h) : slot(h.list_->slots_[h.slot_]) {
-        slot.pinned.store(true, std::memory_order_seq_cst);
-        slot.epoch.store(
-            h.list_->global_epoch_.load(std::memory_order_seq_cst),
-            std::memory_order_seq_cst);
-      }
-      ~Pin() { slot.pinned.store(false, std::memory_order_release); }
-      Slot& slot;
-    };
+    Handle(EbrMichaelList* list, Domain::Handle rh)
+        : list_(list), rh_(std::move(rh)) {}
 
     EbrMichaelList* list_;
-    int slot_;
-    std::vector<std::pair<Node*, std::uint64_t>> limbo_;
+    Domain::Handle rh_;
     core::OpCounters ctr_;
   };
 
-  EbrMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {}
+  EbrMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {
+    domain_.track(head_);
+  }
   EbrMichaelList(const EbrMichaelList&) = delete;
   EbrMichaelList& operator=(const EbrMichaelList&) = delete;
 
@@ -112,32 +79,19 @@ class EbrMichaelList {
       delete n;
       n = next;
     }
-    Node* r = leftovers_.load(std::memory_order_acquire);
-    while (r != nullptr) {
-      Node* next = r->reg_next;
-      delete r;
-      r = next;
-    }
   }
 
-  Handle make_handle() {
-    for (int i = 0; i < kMaxHandles; ++i) {
-      bool expected = false;
-      if (slots_[i].active.compare_exchange_strong(
-              expected, true, std::memory_order_acq_rel))
-        return Handle(this, i);
-    }
-    PRAGMALIST_CHECK(false, "EbrMichaelList: more than 256 live handles");
-    __builtin_unreachable();
-  }
+  Handle make_handle() { return Handle(this, domain_.make_handle()); }
 
   bool validate(std::string* err) const {
-    return core::quiescent::validate_chain(head_, std::size_t{1} << 28, err);
+    return core::quiescent::validate_chain(head_, domain_.live_nodes() + 1,
+                                           err);
   }
   std::size_t size() const { return core::quiescent::size(head_); }
   std::vector<long> snapshot() const {
     return core::quiescent::snapshot(head_);
   }
+  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
 
  private:
   struct Pos {
@@ -157,7 +111,7 @@ class EbrMichaelList {
       const auto nv = cur->next.load();
       if (nv.marked) {
         if (!prev->cas_clean(cur, nv.ptr)) goto try_again;
-        retire(h, cur);
+        h.rh_.retire(cur);
         cur = nv.ptr;
         continue;
       }
@@ -175,9 +129,14 @@ class EbrMichaelList {
         delete node;  // never published
         return false;
       }
-      if (node == nullptr) node = new Node(key, p.cur);
-      node->next.store(p.cur);
-      if (p.prev->cas_clean(p.cur, node)) return true;
+      if (node == nullptr)
+        node = new Node(key, p.cur);
+      else
+        node->next.store(p.cur);
+      if (p.prev->cas_clean(p.cur, node)) {
+        domain_.track(node);
+        return true;
+      }
     }
   }
 
@@ -187,7 +146,7 @@ class EbrMichaelList {
       if (p.cur == nullptr || p.cur->key != key) return false;
       if (!p.cur->next.cas_mark(p.succ)) continue;
       if (p.prev->cas_clean(p.cur, p.succ))
-        retire(h, p.cur);
+        h.rh_.retire(p.cur);
       else
         find(h, key);
       return true;
@@ -208,53 +167,8 @@ class EbrMichaelList {
     return cur != nullptr && cur->key == key;
   }
 
-  void retire(Handle& h, Node* n) {
-    h.limbo_.emplace_back(
-        n, global_epoch_.load(std::memory_order_acquire));
-    if (h.limbo_.size() >= kRetireThreshold) reclaim(h);
-  }
-
-  void reclaim(Handle& h) {
-    try_advance();
-    // A node retired in epoch e is free once every pinned handle has
-    // observed an epoch > e + 1.
-    std::uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
-    for (const auto& slot : slots_) {
-      if (!slot.active.load(std::memory_order_acquire)) continue;
-      if (!slot.pinned.load(std::memory_order_seq_cst)) continue;
-      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
-      if (e < min_epoch) min_epoch = e;
-    }
-    std::vector<std::pair<Node*, std::uint64_t>> keep;
-    keep.reserve(h.limbo_.size());
-    for (const auto& entry : h.limbo_) {
-      if (entry.second + 2 <= min_epoch)
-        delete entry.first;
-      else
-        keep.push_back(entry);
-    }
-    h.limbo_ = std::move(keep);
-  }
-
-  /// Bump the global epoch if every pinned handle caught up with it.
-  void try_advance() {
-    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-    for (const auto& slot : slots_) {
-      if (!slot.active.load(std::memory_order_acquire)) continue;
-      if (!slot.pinned.load(std::memory_order_seq_cst)) continue;
-      if (slot.epoch.load(std::memory_order_seq_cst) != e) return;
-    }
-    std::uint64_t expected = e;
-    global_epoch_.compare_exchange_strong(expected, e + 1,
-                                          std::memory_order_seq_cst);
-  }
-
-  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
-
+  Domain domain_;
   Node* head_;
-  std::array<Slot, kMaxHandles> slots_;
-  std::atomic<std::uint64_t> global_epoch_{2};
-  std::atomic<Node*> leftovers_{nullptr};
 };
 
 }  // namespace pragmalist::baselines

@@ -2,27 +2,25 @@
 // retired at unlink time and physically freed during the run, unlike
 // the paper variants' end-of-run arena. This is the price the paper's
 // §2 says the mild improvements would tolerate; bench_reclaim measures
-// it.
+// it. The slot/retire/scan machinery lives in reclaim::Hp, shared with
+// the `<variant>/hp` catalog combinations.
 //
 // Protocol (Michael, PODC'02/TPDS'04): three hazard pointers per
-// handle -- hp[0] the current node, hp[1] its successor, hp[2] the
+// handle -- slot 0 the current node, slot 1 its successor, slot 2 the
 // predecessor node owning the `prev` cell. Every protection is
 // published then revalidated against the shared cell before use; any
 // mismatch restarts from the head (this list is draconic by
 // construction, as Michael's must be).
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstddef>
 #include <limits>
 #include <string>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
-#include "src/common/debug.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
+#include "src/reclaim/hp.hpp"
 
 namespace pragmalist::baselines {
 
@@ -35,36 +33,11 @@ class HpMichaelList {
     explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
   };
 
-  static constexpr int kMaxHandles = 256;
-  static constexpr int kHazardsPerHandle = 3;
-  static constexpr std::size_t kRetireThreshold = 64;
-
-  struct alignas(64) Slot {
-    std::array<std::atomic<Node*>, kHazardsPerHandle> hp{};
-    std::atomic<bool> active{false};
-  };
+  using Domain = reclaim::Hp<Node>;
 
  public:
   class Handle {
    public:
-    Handle(Handle&& o) noexcept
-        : list_(o.list_), slot_(o.slot_), retired_(std::move(o.retired_)),
-          ctr_(o.ctr_) {
-      o.list_ = nullptr;
-      o.retired_.clear();
-    }
-    Handle(const Handle&) = delete;
-    Handle& operator=(const Handle&) = delete;
-    ~Handle() {
-      if (list_ == nullptr) return;
-      // Remaining retirees may still be protected by other handles:
-      // park them on the list's leftover stack, freed at list teardown.
-      for (Node* n : retired_) list_->push_leftover(n);
-      for (auto& h : list_->slots_[slot_].hp)
-        h.store(nullptr, std::memory_order_release);
-      list_->slots_[slot_].active.store(false, std::memory_order_release);
-    }
-
     bool add(long key) {
       ++ctr_.add_calls;
       const bool ok = list_->do_add(*this, key);
@@ -87,91 +60,80 @@ class HpMichaelList {
 
    private:
     friend class HpMichaelList;
-    Handle(HpMichaelList* list, int slot) : list_(list), slot_(slot) {}
+    Handle(HpMichaelList* list, Domain::Handle rh)
+        : list_(list), rh_(std::move(rh)) {}
 
     HpMichaelList* list_;
-    int slot_;
-    std::vector<Node*> retired_;
+    Domain::Handle rh_;
     core::OpCounters ctr_;
   };
 
-  HpMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {}
+  HpMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {
+    domain_.track(head_);
+  }
   HpMichaelList(const HpMichaelList&) = delete;
   HpMichaelList& operator=(const HpMichaelList&) = delete;
 
   ~HpMichaelList() {
-    // All handles are gone by now. Linked nodes (live or still-marked)
-    // and parked retirees are disjoint sets; free both.
+    // All handles are gone by now; the domain frees parked retirees,
+    // the still-linked chain (live or marked) is ours.
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next.load().ptr;
       delete n;
       n = next;
     }
-    Node* r = leftovers_.load(std::memory_order_acquire);
-    while (r != nullptr) {
-      Node* next = r->reg_next;
-      delete r;
-      r = next;
-    }
   }
 
-  Handle make_handle() {
-    for (int i = 0; i < kMaxHandles; ++i) {
-      bool expected = false;
-      if (slots_[i].active.compare_exchange_strong(
-              expected, true, std::memory_order_acq_rel))
-        return Handle(this, i);
-    }
-    PRAGMALIST_CHECK(false, "HpMichaelList: more than 256 live handles");
-    __builtin_unreachable();
-  }
+  Handle make_handle() { return Handle(this, domain_.make_handle()); }
 
   bool validate(std::string* err) const {
-    return core::quiescent::validate_chain(head_, std::size_t{1} << 28, err);
+    return core::quiescent::validate_chain(head_, domain_.live_nodes() + 1,
+                                           err);
   }
   std::size_t size() const { return core::quiescent::size(head_); }
   std::vector<long> snapshot() const {
     return core::quiescent::snapshot(head_);
   }
+  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
 
  private:
   struct Pos {
-    core::MarkPtr<Node>* prev;  // cell, protected via hp[2] unless head
-    Node* cur;                  // protected via hp[0]
-    Node* succ;                 // protected via hp[1]
+    core::MarkPtr<Node>* prev;  // cell, protected via slot 2 unless head
+    Node* cur;                  // protected via slot 0
+    Node* succ;                 // protected via slot 1
   };
 
   /// Michael's find: returns with cur == first node with key >= target
   /// (or nullptr), *prev observed == cur, and hazards covering
   /// pred/cur/succ.
   Pos find(Handle& h, long key) {
-    auto& hp = slots_[h.slot_].hp;
+    auto& rh = h.rh_;
   try_again:
     core::MarkPtr<Node>* prev = &head_->next;
-    hp[2].store(nullptr, std::memory_order_release);  // pred is the head
+    rh.clear(2);  // pred is the head
     Node* cur = prev->load().ptr;
     for (;;) {
       if (cur == nullptr) return {prev, nullptr, nullptr};
-      hp[0].store(cur, std::memory_order_seq_cst);
+      rh.protect(0, cur);
       {
         const auto v = prev->load();
         if (v.ptr != cur || v.marked) goto try_again;  // cur unprotected
       }
       const auto nv = cur->next.load();
-      hp[1].store(nv.ptr, std::memory_order_seq_cst);
+      rh.protect(1, nv.ptr);
       const auto nv2 = cur->next.load();
       if (nv2.ptr != nv.ptr || nv2.marked != nv.marked) goto try_again;
       if (nv.marked) {
         if (!prev->cas_clean(cur, nv.ptr)) goto try_again;
-        retire(h, cur);
-        cur = nv.ptr;  // still protected by hp[1]; re-pinned at loop top
+        h.rh_.retire(cur);
+        cur = nv.ptr;  // still protected by slot 1; re-pinned at loop top
         continue;
       }
       if (cur->key >= key) return {prev, cur, nv.ptr};
       prev = &cur->next;
-      hp[2].store(cur, std::memory_order_seq_cst);  // protect the pred
-      cur = nv.ptr;  // protected by hp[1]; hp[0] re-pinned at loop top
+      rh.protect(2, cur);  // protect the pred
+      cur = nv.ptr;  // protected by slot 1; slot 0 re-pinned at loop top
     }
   }
 
@@ -183,9 +145,14 @@ class HpMichaelList {
         delete node;  // not yet published, private
         return false;
       }
-      if (node == nullptr) node = new Node(key, p.cur);
-      node->next.store(p.cur);
-      if (p.prev->cas_clean(p.cur, node)) return true;
+      if (node == nullptr)
+        node = new Node(key, p.cur);
+      else
+        node->next.store(p.cur);
+      if (p.prev->cas_clean(p.cur, node)) {
+        domain_.track(node);
+        return true;
+      }
     }
   }
 
@@ -195,7 +162,7 @@ class HpMichaelList {
       if (p.cur == nullptr || p.cur->key != key) return false;
       if (!p.cur->next.cas_mark(p.succ)) continue;  // raced; re-find
       if (p.prev->cas_clean(p.cur, p.succ))
-        retire(h, p.cur);
+        h.rh_.retire(p.cur);
       else
         find(h, key);  // help: the next find sweeps and retires it
       return true;
@@ -207,37 +174,8 @@ class HpMichaelList {
     return p.cur != nullptr && p.cur->key == key;
   }
 
-  void retire(Handle& h, Node* n) {
-    h.retired_.push_back(n);
-    if (h.retired_.size() >= kRetireThreshold) scan(h);
-  }
-
-  /// Free every retiree no hazard pointer currently protects.
-  void scan(Handle& h) {
-    std::unordered_set<Node*> protected_nodes;
-    for (const auto& slot : slots_) {
-      if (!slot.active.load(std::memory_order_acquire)) continue;
-      for (const auto& hazard : slot.hp) {
-        Node* n = hazard.load(std::memory_order_acquire);
-        if (n != nullptr) protected_nodes.insert(n);
-      }
-    }
-    std::vector<Node*> keep;
-    keep.reserve(h.retired_.size());
-    for (Node* n : h.retired_) {
-      if (protected_nodes.count(n) != 0)
-        keep.push_back(n);
-      else
-        delete n;
-    }
-    h.retired_ = std::move(keep);
-  }
-
-  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
-
+  Domain domain_;
   Node* head_;
-  std::array<Slot, kMaxHandles> slots_;
-  std::atomic<Node*> leftovers_{nullptr};
 };
 
 }  // namespace pragmalist::baselines

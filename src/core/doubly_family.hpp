@@ -12,6 +12,17 @@
 // off) refreshes the survivor's back pointer after every successful
 // unlink/insert so hints stay one hop tight; imprecise mode leaves the
 // insert-time hint in place and walks farther on recovery.
+//
+// Reclamation: the back-pointer *hints are an arena artifact*. A back
+// pointer is never cleaned when its target dies, so under a reclaiming
+// policy it may name long-freed memory; the paper itself leans on the
+// end-of-run arena here. With reclaim::Ebr or reclaim::Hp the engine
+// therefore never dereferences back pointers (recover() degrades to a
+// head restart) and the family behaves like the singly pragmatic list
+// that still *maintains* the hints. Hazard traversal reuses the
+// anchored-validation walk documented in list_base.hpp, pinning the
+// successor around an unlink (in the between-searches-idle kRun slot)
+// so the precise-back refresh can still write through it safely.
 #pragma once
 
 #include <atomic>
@@ -23,10 +34,12 @@
 
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
+#include "src/reclaim/arena.hpp"
 
 namespace pragmalist::core {
 
-template <Cursor kCursor, bool kPreciseBack>
+template <Cursor kCursor, bool kPreciseBack,
+          template <typename> class ReclaimPolicy = reclaim::Arena>
 class DoublyFamilyList {
   struct Node {
     long key;
@@ -36,6 +49,14 @@ class DoublyFamilyList {
 
     Node(long k, Node* succ, Node* pred) : key(k), next(succ), back(pred) {}
   };
+
+  using Reclaim = ReclaimPolicy<Node>;
+  using ReclaimHandle = typename Reclaim::Handle;
+
+  static constexpr bool kHazards = Reclaim::kHazards;
+  static constexpr bool kStable = Reclaim::kStableAddresses;
+  static constexpr bool kCursorOn =
+      kCursor == Cursor::kPerHandle && (kStable || kHazards);
 
  public:
   class Handle {
@@ -62,42 +83,63 @@ class DoublyFamilyList {
 
    private:
     friend class DoublyFamilyList;
-    explicit Handle(DoublyFamilyList* list) : list_(list) {}
+    Handle(DoublyFamilyList* list, ReclaimHandle rh)
+        : list_(list), rh_(std::move(rh)) {}
 
     DoublyFamilyList* list_;
+    ReclaimHandle rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
   };
 
   DoublyFamilyList() : head_(new Node(kSentinelKey, nullptr, nullptr)) {
-    registry_.track(head_);
+    domain_.track(head_);
+  }
+  DoublyFamilyList(const DoublyFamilyList&) = delete;
+  DoublyFamilyList& operator=(const DoublyFamilyList&) = delete;
+
+  ~DoublyFamilyList() {
+    if constexpr (Reclaim::kReclaims) {
+      Node* n = head_;
+      while (n != nullptr) {
+        Node* next = n->next.load().ptr;
+        delete n;
+        n = next;
+      }
+    }
   }
 
-  Handle make_handle() { return Handle(this); }
+  Handle make_handle() { return Handle(this, domain_.make_handle()); }
 
   // --- quiescent API ------------------------------------------------
 
   bool validate(std::string* err) const {
-    if (!quiescent::validate_chain(head_, registry_.count() + 1, err))
+    if (!quiescent::validate_chain(head_, domain_.live_nodes() + 1, err))
       return false;
-    // Back-pointer sanity: every linked node's hint has a strictly
-    // smaller key (or is the head sentinel).
-    for (const Node* n = head_->next.load_ptr(); n != nullptr;
-         n = n->next.load().ptr) {
-      const Node* b = n->back.load(std::memory_order_relaxed);
-      if (b == nullptr) {
-        if (err) *err = "node with null back pointer";
-        return false;
-      }
-      if (b != head_ && b->key >= n->key) {
-        if (err) *err = "back pointer does not decrease the key";
-        return false;
+    if constexpr (kStable) {
+      // Back-pointer sanity: every linked node's hint has a strictly
+      // smaller key (or is the head sentinel). Only checkable under the
+      // arena — with mid-run reclamation the hints may dangle and are
+      // never dereferenced, by the engine or by us.
+      for (const Node* n = head_->next.load_ptr(); n != nullptr;
+           n = n->next.load().ptr) {
+        const Node* b = n->back.load(std::memory_order_relaxed);
+        if (b == nullptr) {
+          if (err) *err = "node with null back pointer";
+          return false;
+        }
+        if (b != head_ && b->key >= n->key) {
+          if (err) *err = "back pointer does not decrease the key";
+          return false;
+        }
       }
     }
     return true;
   }
   std::size_t size() const { return quiescent::size(head_); }
   std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
+
+  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
 
   /// Test-only: break the order invariant by swapping the keys of the
   /// first two physically linked nodes (requires >= 2 nodes).
@@ -120,30 +162,64 @@ class DoublyFamilyList {
   };
 
   /// Walk back pointers from `n` until a live node (keys strictly
-  /// decrease along the chain, so this terminates at the head).
+  /// decrease along the chain, so this terminates at the head). Under
+  /// a reclaiming policy the hints may dangle, so a dead start falls
+  /// back to the head instead.
   Node* recover(Node* n) const {
-    while (n != head_ && n->next.load().marked)
-      n = n->back.load(std::memory_order_acquire);
-    return n;
+    if constexpr (kStable) {
+      while (n != head_ && n->next.load().marked)
+        n = n->back.load(std::memory_order_acquire);
+      return n;
+    } else {
+      return (n != head_ && n->next.load().marked) ? head_ : n;
+    }
   }
 
   Node* start_node(Handle& h, long key) {
-    if constexpr (kCursor == Cursor::kPerHandle) {
+    if constexpr (kCursorOn) {
       Node* c = h.cursor_;
-      if (c != nullptr && c != head_ && c->key < key) {
+      if (c != nullptr && c->key < key) {
         c = recover(c);  // dead cursor: hop back instead of head restart
         if (c == head_ || c->key < key) return c;
       }
       h.cursor_ = nullptr;
+      if constexpr (kHazards) h.rh_.clear(hazard::kCursor);
     }
     return head_;
   }
 
   void update_cursor(Handle& h, Node* n) {
-    if constexpr (kCursor == Cursor::kPerHandle) h.cursor_ = n;
+    if constexpr (kCursorOn) {
+      if (n == head_) n = nullptr;
+      if constexpr (kHazards) {
+        if (n == nullptr)
+          h.rh_.clear(hazard::kCursor);
+        else
+          h.rh_.protect(hazard::kCursor, n);
+      }
+      h.cursor_ = n;
+    }
+  }
+
+  void retire_run(Handle& h, Node* first, Node* last) {
+    if constexpr (Reclaim::kReclaims) {
+      Node* n = first;
+      while (n != last) {
+        Node* next = n->next.load().ptr;
+        h.rh_.retire(n);
+        n = next;
+      }
+    }
   }
 
   Pos search(Handle& h, long key) {
+    if constexpr (kHazards)
+      return search_hazard(h, key);
+    else
+      return search_plain(h, key);
+  }
+
+  Pos search_plain(Handle& h, long key) {
     Node* start = start_node(h, key);
     for (;;) {
       start = recover(start);
@@ -169,6 +245,7 @@ class DoublyFamilyList {
           if (cur != nullptr)
             cur->back.store(prev, std::memory_order_release);
         }
+        retire_run(h, left_next, cur);
         return {prev, cur};
       }
       // Cleanup CAS lost: resume from prev (recover() hops back if prev
@@ -177,33 +254,65 @@ class DoublyFamilyList {
     }
   }
 
+  /// The shared anchored-validation hazard walk (see list_base.hpp).
+  /// No back pointer is ever followed; a restart goes to the cursor or
+  /// head.
+  Pos search_hazard(Handle& h, long key) {
+    const auto w =
+        hazard::anchored_walk<Traversal::kMild, Backoff::kNone, true, Node>(
+            h.rh_, key, [&] { return start_node(h, key); },
+            [&] {
+              h.cursor_ = nullptr;
+              h.rh_.clear(hazard::kCursor);
+            },
+            [&](Node* prev, Node* first, Node* last) {
+              if constexpr (kPreciseBack) {
+                // last is walk-slot protected: retire cannot free it
+                // under us.
+                if (last != nullptr)
+                  last->back.store(prev, std::memory_order_release);
+              }
+              retire_run(h, first, last);
+            });
+    return {w.prev, w.cur};
+  }
+
   bool do_add(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
     Node* node = nullptr;
     for (;;) {
       const Pos p = search(h, key);
       if (p.cur != nullptr && p.cur->key == key) {
+        delete node;  // never published, still private
         update_cursor(h, p.prev);
         return false;
       }
       if (node == nullptr) {
         node = new Node(key, p.cur, p.prev);
-        registry_.track(node);
       } else {
         node->next.store(p.cur);
         node->back.store(p.prev, std::memory_order_relaxed);
       }
       if (p.prev->next.cas_clean(p.cur, node)) {
+        domain_.track(node);
         if constexpr (kPreciseBack) {
+          // p.cur is still covered (arena/EBR: stable or pinned;
+          // HP: walk slot), so the refresh write cannot hit freed
+          // memory even if p.cur was concurrently retired.
           if (p.cur != nullptr)
             p.cur->back.store(node, std::memory_order_release);
         }
-        update_cursor(h, node);
+        if constexpr (kHazards)
+          update_cursor(h, p.prev);
+        else
+          update_cursor(h, node);
         return true;
       }
     }
   }
 
   bool do_remove(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
     const Pos p = search(h, key);
     if (p.cur == nullptr || p.cur->key != key) {
       update_cursor(h, p.prev);
@@ -222,34 +331,60 @@ class DoublyFamilyList {
     }
     update_cursor(h, p.prev);
     if (!won) return false;
+    if constexpr (kHazards) {
+      // Pin succ before the unlink (the kRun slot is free between
+      // searches): if the CAS below succeeds, succ was still attached
+      // when the hazard was already visible, so the precise-back
+      // refresh may dereference it.
+      if (succ != nullptr) h.rh_.protect(hazard::kRun, succ);
+    }
     if (p.prev->next.cas_clean(p.cur, succ)) {
       if constexpr (kPreciseBack) {
         if (succ != nullptr)
           succ->back.store(p.prev, std::memory_order_release);
       }
+      if constexpr (Reclaim::kReclaims) h.rh_.retire(p.cur);
     }
     return true;
   }
 
   bool do_contains(Handle& h, long key) {
-    Node* prev = start_node(h, key);
-    Node* cur = prev->next.load().ptr;
-    while (cur != nullptr) {
-      const auto cv = cur->next.load();
-      if (cv.marked) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
+    if constexpr (kHazards) {
+      return contains_hazard(h, key);
+    } else {
+      Node* prev = start_node(h, key);
+      Node* cur = prev->next.load().ptr;
+      while (cur != nullptr) {
+        const auto cv = cur->next.load();
+        if (cv.marked) {
+          cur = cv.ptr;
+          continue;
+        }
+        if (cur->key >= key) break;
+        prev = cur;
         cur = cv.ptr;
-        continue;
       }
-      if (cur->key >= key) break;
-      prev = cur;
-      cur = cv.ptr;
+      update_cursor(h, prev);
+      return cur != nullptr && cur->key == key;
     }
-    update_cursor(h, prev == head_ ? nullptr : prev);
-    return cur != nullptr && cur->key == key;
   }
 
+  bool contains_hazard(Handle& h, long key) {
+    const auto w =
+        hazard::anchored_walk<Traversal::kMild, Backoff::kNone, false, Node>(
+            h.rh_, key, [&] { return start_node(h, key); },
+            [&] {
+              h.cursor_ = nullptr;
+              h.rh_.clear(hazard::kCursor);
+            },
+            [](Node*, Node*, Node*) {});
+    update_cursor(h, w.prev);
+    return w.cur != nullptr && w.cur->key == key;
+  }
+
+  Reclaim domain_;
   Node* head_;
-  AllocRegistry<Node> registry_;
 };
 
 using DoublyList = DoublyFamilyList<Cursor::kNone, true>;

@@ -67,6 +67,12 @@ class ISet {
   /// Live keys in ascending order.
   virtual std::vector<long> snapshot() const = 0;
 
+  /// Nodes currently allocated and not yet freed (0 when the structure
+  /// does not track it). Under the arena this grows with every
+  /// successful insert; under a reclaiming policy (src/reclaim/) the
+  /// churn tests assert it stays bounded.
+  virtual std::size_t allocated_nodes() const { return 0; }
+
   virtual std::string_view name() const = 0;
 };
 

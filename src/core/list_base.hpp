@@ -162,6 +162,128 @@ class AllocRegistry {
   std::atomic<std::size_t> count_{0};
 };
 
+/// The anchored-validation hazard-pointer traversal shared by the list
+/// families (used whenever the reclamation policy sets kHazards).
+///
+/// Plain hazard pointers are incompatible with traversals that step
+/// over marked nodes (Michael, TPDS'04): a marked node's next pointer
+/// is frozen, so re-reading it can never reveal that its successor was
+/// swept out and freed. The walk instead revalidates against the *run
+/// anchor*: `prev` is the last live node (slot kAnchor) and `left_next`
+/// the first node of the dead run hanging off it. Any sweep that
+/// detaches -- and hence retires -- any node of that run must CAS
+/// `prev->next` away from `left_next` (marked nexts are frozen; the
+/// anchor cell is the run's only mutable attachment point). So after
+/// publishing a hazard on the next node, one re-read of `prev->next`
+/// suffices: still `left_next`-and-unmarked means nothing in the run
+/// was retired before the hazard became visible; anything else
+/// restarts. For the address compare to be meaningful, `left_next`
+/// itself must stay hazard-protected for the whole run (slot kRun):
+/// an unprotected run head could be freed and its address recycled by
+/// a fresh insert, making both the anchor re-read and the final sweep
+/// CAS succeed against a different, live node (ABA).
+namespace hazard {
+
+// Slot roles (reclaim::Hp::kSlots >= 4):
+inline constexpr int kAnchor = 0;  // last live predecessor `prev`
+inline constexpr int kWalk = 1;    // the node the walk stands on
+inline constexpr int kRun = 2;     // current dead run's head; reused as
+                                   // the doubly family's succ pin
+inline constexpr int kCursor = 3;  // per-handle cursor, held across ops
+
+template <typename Node>
+struct WalkPos {
+  Node* prev;  // protected via kAnchor, prev->next observed == cur
+               // (kMutate) or == some run reaching cur (read-only)
+  Node* cur;   // protected via kWalk; first live node with key >=
+               // target, or nullptr
+};
+
+/// Walk toward `key` from start_node(), restarting on any validation
+/// failure. kMutate: guarantee physical adjacency prev->next == cur on
+/// return, sweeping the dead run with one CAS if needed and invoking
+/// on_swept(prev, first, last) on success (the caller retires the
+/// detached [first..last) and refreshes back hints there). Read-only
+/// (!kMutate): never CAS; cur may sit behind a dead run.
+/// on_dead_start() runs when the start node died under the walk (the
+/// caller drops its cursor); start_node() is then expected to fall
+/// back to the head.
+template <Traversal kTraversal, Backoff kBackoff, bool kMutate,
+          typename Node, typename ReclaimHandle, typename StartFn,
+          typename DeadStartFn, typename SweptFn>
+WalkPos<Node> anchored_walk(ReclaimHandle& rh, long key, StartFn&& start_node,
+                            DeadStartFn&& on_dead_start, SweptFn&& on_swept) {
+  Backoffer bo;
+  for (;;) {
+    Node* prev = start_node();  // head, or a cursor covered by kCursor
+    rh.protect(kAnchor, prev);
+    const auto pv = prev->next.load();
+    if (pv.marked) {  // cursor start died between its check and here
+      on_dead_start();
+      continue;
+    }
+    Node* left_next = pv.ptr;
+    Node* cur = left_next;
+    bool restart = false;
+    while (cur != nullptr) {
+      rh.protect(kWalk, cur);
+      {
+        // Anchor revalidation: run still attached => cur not retired
+        // before the hazard above became visible.
+        const auto av = prev->next.load();
+        if (av.marked || av.ptr != left_next) {
+          restart = true;
+          break;
+        }
+      }
+      const auto cv = cur->next.load();
+      if (cv.marked) {
+        if constexpr (kTraversal == Traversal::kDraconic) {
+          // Never step over a dead node: unlink it now or start over.
+          // left_next == cur here, so the CAS expectation is covered
+          // by the kWalk hazard.
+          if (prev->next.cas_clean(cur, cv.ptr)) {
+            rh.retire(cur);
+            left_next = cv.ptr;
+            cur = cv.ptr;
+            continue;
+          }
+          restart = true;
+          break;
+        } else {
+          // Entering a run: pin its head for the run's duration (see
+          // file comment -- the anchor compare and the sweep CAS are
+          // ABA-unsafe otherwise). Gapless: kWalk still covers
+          // cur == left_next at this point.
+          if (cur == left_next) rh.protect(kRun, cur);
+          cur = cv.ptr;  // pragmatic: walk through; validated at the top
+          continue;
+        }
+      }
+      if (cur->key >= key) break;
+      prev = cur;
+      rh.protect(kAnchor, cur);  // kWalk still covers cur
+      left_next = cv.ptr;
+      cur = cv.ptr;
+    }
+    if (!restart) {
+      if (left_next == cur) return {prev, cur};
+      if constexpr (!kMutate) {
+        return {prev, cur};
+      } else {
+        // Swing the whole dead run [left_next..cur) out in one CAS.
+        if (prev->next.cas_clean(left_next, cur)) {
+          on_swept(prev, left_next, cur);
+          return {prev, cur};
+        }
+      }
+    }
+    if constexpr (kBackoff == Backoff::kExponential) bo.pause();
+  }
+}
+
+}  // namespace hazard
+
 /// Quiescent walkers shared by the list variants. `Node` must expose
 /// `key` and a MarkPtr<Node> `next`.
 namespace quiescent {

@@ -1,5 +1,6 @@
 // The singly-linked variants of the paper, one engine templated on the
-// three design knobs the ablation bench isolates:
+// three design knobs the ablation bench isolates plus a pluggable
+// memory-reclamation policy:
 //
 //   Traversal::kDraconic  -- Michael-style: a traversal may never pass a
 //     marked node; it must unlink it first and restart from the head
@@ -12,13 +13,27 @@
 //     next pointer vs a single fetch_or of the mark bit (variant e).
 //   Cursor::kPerHandle    -- each handle remembers the last live node
 //     it stood on and starts the next search there when the target key
-//     is larger; safe because an unmarked node is always still linked
-//     and nodes are never freed mid-run.
+//     is larger.
 //   Backoff::kExponential -- exponential backoff on retry loops.
+//
+//   ReclaimPolicy (src/reclaim/) -- reclaim::Arena is the paper's
+//     scheme: nothing is freed mid-run, stale pointers stay valid,
+//     cursors are free. reclaim::Ebr wraps every operation in an epoch
+//     pin; traversal is unchanged (the classic result that Harris-style
+//     lists are safe under deferred reclamation) but cursors are
+//     disabled, because a node pointer held across an unpinned gap may
+//     be freed. reclaim::Hp runs the *anchored-validation* traversal
+//     below; cursors survive via a dedicated hazard slot.
+//
+// Hazard traversal is the anchored-validation walk shared via
+// core::hazard::anchored_walk (see list_base.hpp for the safety
+// argument). The pragmatic variants keep their no-CAS contains()
+// under HP -- they pay publish+revalidate per step instead.
 //
 // Instantiations (paper letters): a) DraconicList, b) SinglyList,
 // d) SinglyCursorList, e) SinglyFetchOrList, plus the ablation-only
-// SinglyCursorBackoffList.
+// SinglyCursorBackoffList. The variant x reclaimer grid is named in
+// variants.hpp.
 #pragma once
 
 #include <limits>
@@ -29,11 +44,13 @@
 
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
+#include "src/reclaim/arena.hpp"
 
 namespace pragmalist::core {
 
 template <Traversal kTraversal, Marking kMarking, Cursor kCursor,
-          Backoff kBackoff>
+          Backoff kBackoff,
+          template <typename> class ReclaimPolicy = reclaim::Arena>
 class SinglyFamilyList {
   struct Node {
     long key;
@@ -42,6 +59,18 @@ class SinglyFamilyList {
 
     explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
   };
+
+  using Reclaim = ReclaimPolicy<Node>;
+  using ReclaimHandle = typename Reclaim::Handle;
+
+  static constexpr bool kHazards = Reclaim::kHazards;
+  // Cursors hold a node pointer across operations, which needs
+  // addresses that stay dereferenceable between ops: stable (arena)
+  // addresses, or a hazard slot pinning the cursor node. EBR offers
+  // neither, so the cursor knob degrades to start-from-head there.
+  static constexpr bool kCursorOn =
+      kCursor == Cursor::kPerHandle &&
+      (Reclaim::kStableAddresses || Reclaim::kHazards);
 
  public:
   class Handle {
@@ -68,26 +97,48 @@ class SinglyFamilyList {
 
    private:
     friend class SinglyFamilyList;
-    explicit Handle(SinglyFamilyList* list) : list_(list) {}
+    Handle(SinglyFamilyList* list, ReclaimHandle rh)
+        : list_(list), rh_(std::move(rh)) {}
 
     SinglyFamilyList* list_;
+    ReclaimHandle rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
   };
 
   SinglyFamilyList() : head_(new Node(kSentinelKey)) {
-    registry_.track(head_);
+    domain_.track(head_);
+  }
+  SinglyFamilyList(const SinglyFamilyList&) = delete;
+  SinglyFamilyList& operator=(const SinglyFamilyList&) = delete;
+
+  ~SinglyFamilyList() {
+    if constexpr (Reclaim::kReclaims) {
+      // The arena owns every node it tracked; a reclaiming policy only
+      // owns the retired ones, so the still-linked chain (live or
+      // marked) is ours to free. Handles are gone by now.
+      Node* n = head_;
+      while (n != nullptr) {
+        Node* next = n->next.load().ptr;
+        delete n;
+        n = next;
+      }
+    }
   }
 
-  Handle make_handle() { return Handle(this); }
+  Handle make_handle() { return Handle(this, domain_.make_handle()); }
 
   // --- quiescent API ------------------------------------------------
 
   bool validate(std::string* err) const {
-    return quiescent::validate_chain(head_, registry_.count() + 1, err);
+    return quiescent::validate_chain(head_, domain_.live_nodes() + 1, err);
   }
   std::size_t size() const { return quiescent::size(head_); }
   std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
+
+  /// Published-and-not-yet-freed node count; the churn tests bound it
+  /// under the reclaiming policies and watch it grow under the arena.
+  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
 
   /// Test-only: break the order invariant by swapping the keys of the
   /// first two physically linked nodes (requires >= 2 nodes).
@@ -110,27 +161,63 @@ class SinglyFamilyList {
   };
 
   Node* start_node(Handle& h, long key) {
-    if constexpr (kCursor == Cursor::kPerHandle) {
+    if constexpr (kCursorOn) {
       Node* c = h.cursor_;
-      if (c != nullptr && c != head_ && c->key < key &&
-          !c->next.load().marked) {
+      if (c != nullptr && c->key < key && !c->next.load().marked) {
         // Unmarked implies still physically linked (nodes are only ever
         // unlinked after being marked), so the suffix from c is a valid
-        // place to begin.
+        // place to begin. Under HP the cursor slot keeps c allocated.
         return c;
       }
       h.cursor_ = nullptr;
+      if constexpr (kHazards) h.rh_.clear(hazard::kCursor);
     }
     return head_;
   }
 
+  /// Remember `n` as the handle's next search hint. Under hazards the
+  /// caller must still hold `n` in another slot (or pass the head/
+  /// nullptr): publishing into the cursor slot while the old slot is
+  /// live is what makes the protection gapless.
   void update_cursor(Handle& h, Node* n) {
-    if constexpr (kCursor == Cursor::kPerHandle) h.cursor_ = n;
+    if constexpr (kCursorOn) {
+      if (n == head_) n = nullptr;
+      if constexpr (kHazards) {
+        if (n == nullptr)
+          h.rh_.clear(hazard::kCursor);
+        else
+          h.rh_.protect(hazard::kCursor, n);
+      }
+      h.cursor_ = n;
+    }
+  }
+
+  /// Retire every node of the detached run [first, last): after the
+  /// sweep CAS succeeded the frozen chain is reachable only by threads
+  /// that entered it earlier, and only the detacher may retire it.
+  void retire_run(Handle& h, Node* first, Node* last) {
+    if constexpr (Reclaim::kReclaims) {
+      Node* n = first;
+      while (n != last) {
+        Node* next = n->next.load().ptr;  // read before retire: a scan
+        h.rh_.retire(n);                  // may free n immediately
+        n = next;
+      }
+    }
+  }
+
+  Pos search(Handle& h, long key) {
+    if constexpr (kHazards)
+      return search_hazard(h, key);
+    else
+      return search_plain(h, key);
   }
 
   /// Locate `key` and guarantee physical adjacency prev->next == cur at
   /// some observed instant (required before an insert or unlink CAS).
-  Pos search(Handle& h, long key) {
+  /// Arena/EBR flavor: no per-step protection (arena: addresses are
+  /// stable; EBR: the caller's epoch pin covers the whole operation).
+  Pos search_plain(Handle& h, long key) {
     Backoffer bo;
     Node* start = start_node(h, key);
     for (;;) {
@@ -149,6 +236,7 @@ class SinglyFamilyList {
           if constexpr (kTraversal == Traversal::kDraconic) {
             // Never step over a dead node: unlink it now or start over.
             if (prev->next.cas_clean(cur, cv.ptr)) {
+              if constexpr (Reclaim::kReclaims) h.rh_.retire(cur);
               left_next = cv.ptr;
               cur = cv.ptr;
               continue;
@@ -168,7 +256,10 @@ class SinglyFamilyList {
       if (!restart) {
         if (left_next == cur) return {prev, cur};
         // Swing the whole dead run [left_next..cur) out in one CAS.
-        if (prev->next.cas_clean(left_next, cur)) return {prev, cur};
+        if (prev->next.cas_clean(left_next, cur)) {
+          retire_run(h, left_next, cur);
+          return {prev, cur};
+        }
         restart = true;
       }
       if constexpr (kBackoff == Backoff::kExponential) bo.pause();
@@ -176,23 +267,41 @@ class SinglyFamilyList {
     }
   }
 
+  /// Hazard-pointer flavor of search: the shared anchored-validation
+  /// walk. Returns with prev held in the anchor slot and cur in the
+  /// walk slot; the caller may dereference both until its next search.
+  Pos search_hazard(Handle& h, long key) {
+    const auto w = hazard::anchored_walk<kTraversal, kBackoff, true, Node>(
+        h.rh_, key, [&] { return start_node(h, key); },
+        [&] {
+          h.cursor_ = nullptr;
+          h.rh_.clear(hazard::kCursor);
+        },
+        [&](Node*, Node* first, Node* last) { retire_run(h, first, last); });
+    return {w.prev, w.cur};
+  }
+
   bool do_add(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
     Backoffer bo;
     Node* node = nullptr;
     for (;;) {
       const Pos p = search(h, key);
       if (p.cur != nullptr && p.cur->key == key) {
+        delete node;  // never published, still private
         update_cursor(h, p.prev);
         return false;  // present (the node was live when observed)
       }
-      if (node == nullptr) {
+      if (node == nullptr)
         node = new Node(key, p.cur);
-        registry_.track(node);
-      } else {
+      else
         node->next.store(p.cur);
-      }
       if (p.prev->next.cas_clean(p.cur, node)) {
-        update_cursor(h, node);
+        domain_.track(node);
+        if constexpr (kHazards)
+          update_cursor(h, p.prev);  // p.prev is anchor-protected; the
+        else                         // fresh node is not in any slot
+          update_cursor(h, node);
         return true;
       }
       if constexpr (kBackoff == Backoff::kExponential) bo.pause();
@@ -200,6 +309,7 @@ class SinglyFamilyList {
   }
 
   bool do_remove(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
     const Pos p = search(h, key);
     if (p.cur == nullptr || p.cur->key != key) {
       update_cursor(h, p.prev);
@@ -225,18 +335,24 @@ class SinglyFamilyList {
     update_cursor(h, p.prev);
     if (!won) return false;
     // Physical unlink: one attempt in the mild variants (the next
-    // search will sweep it), mandatory help in the draconic one.
-    if (!p.prev->next.cas_clean(p.cur, succ)) {
+    // search will sweep it), mandatory help in the draconic one. A
+    // successful CAS detached exactly p.cur, so we own its retirement.
+    if (p.prev->next.cas_clean(p.cur, succ)) {
+      if constexpr (Reclaim::kReclaims) h.rh_.retire(p.cur);
+    } else {
       if constexpr (kTraversal == Traversal::kDraconic) search(h, key);
     }
     return true;
   }
 
   bool do_contains(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_.guard();
     if constexpr (kTraversal == Traversal::kDraconic) {
       // Draconic readers help clean up (and pay the restarts for it).
       const Pos p = search(h, key);
       return p.cur != nullptr && p.cur->key == key;
+    } else if constexpr (kHazards) {
+      return contains_hazard(h, key);
     } else {
       Node* prev = start_node(h, key);
       Node* cur = prev->next.load().ptr;
@@ -250,13 +366,28 @@ class SinglyFamilyList {
         prev = cur;
         cur = cv.ptr;
       }
-      update_cursor(h, prev == head_ ? nullptr : prev);
+      update_cursor(h, prev);
       return cur != nullptr && cur->key == key;
     }
   }
 
+  /// The mild contains under HP: still CAS-free (read-only walk), but
+  /// every step pays the publish + anchor-revalidation.
+  bool contains_hazard(Handle& h, long key) {
+    const auto w =
+        hazard::anchored_walk<Traversal::kMild, kBackoff, false, Node>(
+            h.rh_, key, [&] { return start_node(h, key); },
+            [&] {
+              h.cursor_ = nullptr;
+              h.rh_.clear(hazard::kCursor);
+            },
+            [](Node*, Node*, Node*) {});
+    update_cursor(h, w.prev);
+    return w.cur != nullptr && w.cur->key == key;
+  }
+
+  Reclaim domain_;
   Node* head_;
-  AllocRegistry<Node> registry_;
 };
 
 using DraconicList = SinglyFamilyList<Traversal::kDraconic, Marking::kCas,

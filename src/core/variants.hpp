@@ -5,8 +5,50 @@
 //   b) SinglyList          f) DoublyCursorList
 //   c) DoublyList             SinglyCursorBackoffList (ablation)
 //   d) SinglyCursorList       DoublyCursorNoPrecList  (ablation)
+//
+// Each variant also exists under real mid-run reclamation (catalog ids
+// `<variant>/ebr` and `<variant>/hp`); the `With` alias templates below
+// spell the grid out once so the catalog and tests can name any cell.
 #pragma once
 
 #include "src/core/doubly_family.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/singly_family.hpp"
+#include "src/reclaim/reclaim.hpp"
+
+namespace pragmalist::core {
+
+template <template <typename> class R>
+using DraconicListWith = SinglyFamilyList<Traversal::kDraconic, Marking::kCas,
+                                          Cursor::kNone, Backoff::kNone, R>;
+template <template <typename> class R>
+using SinglyListWith = SinglyFamilyList<Traversal::kMild, Marking::kCas,
+                                        Cursor::kNone, Backoff::kNone, R>;
+template <template <typename> class R>
+using DoublyListWith = DoublyFamilyList<Cursor::kNone, true, R>;
+template <template <typename> class R>
+using SinglyCursorListWith =
+    SinglyFamilyList<Traversal::kMild, Marking::kCas, Cursor::kPerHandle,
+                     Backoff::kNone, R>;
+template <template <typename> class R>
+using SinglyFetchOrListWith =
+    SinglyFamilyList<Traversal::kMild, Marking::kFetchOr, Cursor::kPerHandle,
+                     Backoff::kNone, R>;
+template <template <typename> class R>
+using DoublyCursorListWith = DoublyFamilyList<Cursor::kPerHandle, true, R>;
+
+using DraconicListEbr = DraconicListWith<reclaim::Ebr>;
+using SinglyListEbr = SinglyListWith<reclaim::Ebr>;
+using DoublyListEbr = DoublyListWith<reclaim::Ebr>;
+using SinglyCursorListEbr = SinglyCursorListWith<reclaim::Ebr>;
+using SinglyFetchOrListEbr = SinglyFetchOrListWith<reclaim::Ebr>;
+using DoublyCursorListEbr = DoublyCursorListWith<reclaim::Ebr>;
+
+using DraconicListHp = DraconicListWith<reclaim::Hp>;
+using SinglyListHp = SinglyListWith<reclaim::Hp>;
+using DoublyListHp = DoublyListWith<reclaim::Hp>;
+using SinglyCursorListHp = SinglyCursorListWith<reclaim::Hp>;
+using SinglyFetchOrListHp = SinglyFetchOrListWith<reclaim::Hp>;
+using DoublyCursorListHp = DoublyCursorListWith<reclaim::Hp>;
+
+}  // namespace pragmalist::core

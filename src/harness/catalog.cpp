@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "src/baselines/ebr_michael.hpp"
@@ -13,6 +14,13 @@
 
 namespace pragmalist::harness {
 namespace {
+
+template <typename T, typename = void>
+struct HasAllocatedNodes : std::false_type {};
+template <typename T>
+struct HasAllocatedNodes<
+    T, std::void_t<decltype(std::declval<const T&>().allocated_nodes())>>
+    : std::true_type {};
 
 /// Adapts any concrete structure with the
 /// make_handle()/validate()/size()/snapshot() shape to core::ISet.
@@ -42,6 +50,12 @@ class SetAdapter final : public core::ISet {
   }
   std::size_t size() const override { return inner_.size(); }
   std::vector<long> snapshot() const override { return inner_.snapshot(); }
+  std::size_t allocated_nodes() const override {
+    if constexpr (HasAllocatedNodes<Structure>::value)
+      return inner_.allocated_nodes();
+    else
+      return 0;
+  }
   std::string_view name() const override { return id_; }
 
  private:
@@ -71,6 +85,20 @@ constexpr Entry kEntries[] = {
      &make_adapter<core::DoublyCursorNoPrecList>},
     {"singly_cursor_backoff", "-",
      &make_adapter<core::SinglyCursorBackoffList>},
+    // The variant x reclaimer grid: the paper rows under real mid-run
+    // reclamation (the bare ids above are the paper's arena scheme).
+    {"draconic/ebr", "-", &make_adapter<core::DraconicListEbr>},
+    {"singly/ebr", "-", &make_adapter<core::SinglyListEbr>},
+    {"doubly/ebr", "-", &make_adapter<core::DoublyListEbr>},
+    {"singly_cursor/ebr", "-", &make_adapter<core::SinglyCursorListEbr>},
+    {"singly_fetch_or/ebr", "-", &make_adapter<core::SinglyFetchOrListEbr>},
+    {"doubly_cursor/ebr", "-", &make_adapter<core::DoublyCursorListEbr>},
+    {"draconic/hp", "-", &make_adapter<core::DraconicListHp>},
+    {"singly/hp", "-", &make_adapter<core::SinglyListHp>},
+    {"doubly/hp", "-", &make_adapter<core::DoublyListHp>},
+    {"singly_cursor/hp", "-", &make_adapter<core::SinglyCursorListHp>},
+    {"singly_fetch_or/hp", "-", &make_adapter<core::SinglyFetchOrListHp>},
+    {"doubly_cursor/hp", "-", &make_adapter<core::DoublyCursorListHp>},
     {"coarse_lock", "g", &make_adapter<baselines::CoarseLockList>},
     {"lazy_lock", "h", &make_adapter<baselines::LazyLockList>},
     {"hp_michael", "i", &make_adapter<baselines::HpMichaelList>},
@@ -105,6 +133,18 @@ const std::vector<std::string_view>& figure_variant_ids() {
   static const std::vector<std::string_view> ids = {
       "draconic", "singly", "doubly", "singly_cursor", "doubly_cursor",
   };
+  return ids;
+}
+
+const std::vector<std::string_view>& reclaim_variant_ids() {
+  static const std::vector<std::string_view> ids = [] {
+    std::vector<std::string_view> v;
+    for (const auto& entry : kEntries) {
+      const auto id = entry.id;
+      if (id.find('/') != std::string_view::npos) v.push_back(id);
+    }
+    return v;
+  }();
   return ids;
 }
 

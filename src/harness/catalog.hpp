@@ -4,6 +4,9 @@
 // Paper variants (table rows a-f):
 //   draconic, singly, doubly, singly_cursor, singly_fetch_or,
 //   doubly_cursor
+// Reclaimer combinations: every paper variant also exists as
+//   `<variant>/ebr` and `<variant>/hp` (epoch-based and hazard-pointer
+//   reclamation from src/reclaim/; the bare id is the paper's arena)
 // Ablation-only: doubly_cursor_noprec, singly_cursor_backoff
 // Baselines: coarse_lock, lazy_lock, hp_michael, ebr_michael
 // Structures: skiplist, skiplist_draconic
@@ -29,6 +32,10 @@ const std::vector<std::string_view>& figure_variant_ids();
 
 /// Every id make_set accepts (tests iterate this).
 const std::vector<std::string_view>& all_variant_ids();
+
+/// The `<variant>/<reclaimer>` grid: every paper variant under ebr and
+/// hp reclamation (the stress tier and bench_reclaim iterate this).
+const std::vector<std::string_view>& reclaim_variant_ids();
 
 /// Paper row letter for an id ("a".."f"), successive letters for the
 /// baselines, "-" for anything unlettered.

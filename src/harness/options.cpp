@@ -78,6 +78,13 @@ bool Options::get_bool(const std::string& name) const {
   return flag->value != "0" && flag->value != "false" && flag->value != "no";
 }
 
+std::string Options::get_string(const std::string& name,
+                                const std::string& def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  return flag->value;
+}
+
 std::vector<long> Options::get_long_list(const std::string& name,
                                          const std::vector<long>& def) const {
   const Flag* flag = lookup(name);

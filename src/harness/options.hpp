@@ -21,6 +21,10 @@ class Options {
   /// "0"/"false"/"no").
   bool get_bool(const std::string& name) const;
 
+  /// Raw string value of --name, or `def` when absent or bare.
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+
   /// Comma-separated list of longs (e.g. --threads 1,2,4), or `def`.
   std::vector<long> get_long_list(const std::string& name,
                                   const std::vector<long>& def) const;

@@ -1,0 +1,43 @@
+// The paper's reclamation scheme as a policy: every published node is
+// threaded onto a lock-free registry and freed only when the list dies.
+// Nothing is freed (or reused) mid-run, so traversals may hold stale
+// pointers, CAS never sees ABA, and cursors / back-pointer hints are
+// safe with no per-access protection. The EBR and HP policies exist to
+// price real mid-run reclamation against this choice.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::reclaim {
+
+template <typename Node>
+class Arena {
+ public:
+  static constexpr bool kStableAddresses = true;
+  static constexpr bool kHazards = false;
+  static constexpr bool kReclaims = false;
+
+  class Handle {
+   public:
+    struct Guard {};
+    Guard guard() { return {}; }
+    void retire(Node*) {}  // the registry frees everything at teardown
+  };
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  Handle make_handle() { return {}; }
+
+  void track(Node* n) { registry_.track(n); }
+
+  std::size_t live_nodes() const { return registry_.count(); }
+
+ private:
+  core::AllocRegistry<Node> registry_;
+};
+
+}  // namespace pragmalist::reclaim

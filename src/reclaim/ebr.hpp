@@ -1,0 +1,190 @@
+// Epoch-based reclamation, extracted from the EBR Michael baseline so
+// any list can use it: operations run inside an epoch-pinned critical
+// section (Handle::guard()); detached nodes are retired with the epoch
+// they died in and freed once every pinned handle has advanced at
+// least two epochs past it. Cheaper per access than hazard pointers
+// (no per-step publish/validate), at the cost of reclamation stalling
+// whenever a thread parks inside a critical section — and of node
+// pointers becoming poison the moment the guard is dropped, which is
+// why kStableAddresses is false and cursor/back-pointer hints are
+// disabled under this policy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/debug.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::reclaim {
+
+template <typename Node>
+class Ebr {
+ public:
+  static constexpr bool kStableAddresses = false;
+  static constexpr bool kHazards = false;
+  static constexpr bool kReclaims = true;
+  static constexpr int kMaxHandles = 256;
+  static constexpr std::size_t kRetireThreshold = 128;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> pinned{false};
+    std::atomic<bool> active{false};
+  };
+
+ public:
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : d_(o.d_), slot_(o.slot_), limbo_(std::move(o.limbo_)) {
+      o.d_ = nullptr;
+      o.limbo_.clear();
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (d_ == nullptr) return;
+      // One last unpinned free pass, then park whatever is still too
+      // young on the domain's leftover stack, freed at teardown.
+      if (!limbo_.empty()) d_->reclaim(limbo_);
+      for (const auto& [node, epoch] : limbo_) d_->push_leftover(node);
+      d_->slots_[slot_].active.store(false, std::memory_order_release);
+    }
+
+    /// RAII epoch pin around one operation. Reclamation runs at guard
+    /// *release*, after the unpin: the free pass rebuilds the limbo
+    /// list in O(|limbo|), and doing that while pinned is a death
+    /// spiral -- a thread scanning with a pre-advance epoch blocks
+    /// try_advance for everyone, epochs stall, limbo grows, scans get
+    /// slower, pins get longer. Unpinned scans cannot block anything,
+    /// so the epoch keeps moving no matter how churn-saturated the
+    /// workload is (the churn test tier asserts exactly this).
+    class Guard {
+     public:
+      explicit Guard(Handle& h) : h_(h) {
+        Slot& slot = h.d_->slots_[h.slot_];
+        slot.pinned.store(true, std::memory_order_seq_cst);
+        for (;;) {  // never publish a stale-at-birth epoch
+          const std::uint64_t e =
+              h.d_->global_epoch_.load(std::memory_order_seq_cst);
+          slot.epoch.store(e, std::memory_order_seq_cst);
+          if (h.d_->global_epoch_.load(std::memory_order_seq_cst) == e)
+            break;
+        }
+      }
+      Guard(const Guard&) = delete;
+      Guard& operator=(const Guard&) = delete;
+      ~Guard() {
+        h_.d_->slots_[h_.slot_].pinned.store(false,
+                                             std::memory_order_release);
+        if (h_.limbo_.size() >= kRetireThreshold) h_.d_->reclaim(h_.limbo_);
+      }
+
+     private:
+      Handle& h_;
+    };
+
+    Guard guard() { return Guard(*this); }
+
+    void retire(Node* n) {
+      limbo_.emplace_back(n,
+                          d_->global_epoch_.load(std::memory_order_acquire));
+    }
+
+   private:
+    friend class Ebr;
+    Handle(Ebr* d, int slot) : d_(d), slot_(slot) {}
+
+    Ebr* d_;
+    int slot_;
+    std::vector<std::pair<Node*, std::uint64_t>> limbo_;
+  };
+
+  Ebr() = default;
+  Ebr(const Ebr&) = delete;
+  Ebr& operator=(const Ebr&) = delete;
+
+  ~Ebr() {
+    Node* r = leftovers_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Node* next = r->reg_next;
+      delete r;
+      r = next;
+    }
+  }
+
+  Handle make_handle() {
+    for (int i = 0; i < kMaxHandles; ++i) {
+      bool expected = false;
+      if (slots_[i].active.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel))
+        return Handle(this, i);
+    }
+    PRAGMALIST_CHECK(false, "reclaim::Ebr: more than 256 live handles");
+    __builtin_unreachable();
+  }
+
+  void track(Node*) { allocated_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::size_t live_nodes() const {
+    return allocated_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Handle;
+
+  void reclaim(std::vector<std::pair<Node*, std::uint64_t>>& limbo) {
+    try_advance();
+    // A node retired in epoch e is free once every pinned handle has
+    // observed an epoch > e + 1.
+    std::uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
+    for (const auto& slot : slots_) {
+      if (!slot.active.load(std::memory_order_acquire)) continue;
+      if (!slot.pinned.load(std::memory_order_seq_cst)) continue;
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e < min_epoch) min_epoch = e;
+    }
+    std::vector<std::pair<Node*, std::uint64_t>> keep;
+    keep.reserve(limbo.size());
+    std::size_t freed = 0;
+    for (const auto& entry : limbo) {
+      if (entry.second + 2 <= min_epoch) {
+        delete entry.first;
+        ++freed;
+      } else {
+        keep.push_back(entry);
+      }
+    }
+    limbo = std::move(keep);
+    freed_.fetch_add(freed, std::memory_order_relaxed);
+  }
+
+  /// Bump the global epoch if every pinned handle caught up with it.
+  void try_advance() {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (const auto& slot : slots_) {
+      if (!slot.active.load(std::memory_order_acquire)) continue;
+      if (!slot.pinned.load(std::memory_order_seq_cst)) continue;
+      if (slot.epoch.load(std::memory_order_seq_cst) != e) return;
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_seq_cst);
+  }
+
+  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
+
+  Slot slots_[kMaxHandles];
+  std::atomic<std::uint64_t> global_epoch_{2};
+  std::atomic<Node*> leftovers_{nullptr};
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> freed_{0};
+};
+
+}  // namespace pragmalist::reclaim

@@ -1,0 +1,158 @@
+// Hazard-pointer reclamation (Michael, PODC'02/TPDS'04), extracted
+// from the HP Michael baseline so any list can use it. Each handle
+// owns kSlots hazard cells; a reader publishes the node it is about to
+// dereference, revalidates reachability against a shared cell, and may
+// then use the node until the cell is overwritten. scan() frees every
+// retiree no cell currently protects.
+//
+// Slot-role conventions are the caller's business: the Michael
+// baseline uses three (cur/succ/pred); the pragmatic engines use four
+// (anchor/walk/succ + a persistent cursor slot, see singly_family.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/debug.hpp"
+#include "src/core/list_base.hpp"
+
+namespace pragmalist::reclaim {
+
+template <typename Node>
+class Hp {
+ public:
+  static constexpr bool kStableAddresses = false;
+  static constexpr bool kHazards = true;
+  static constexpr bool kReclaims = true;
+  static constexpr int kMaxHandles = 256;
+  static constexpr int kSlots = 4;
+  static constexpr std::size_t kRetireThreshold = 64;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<Node*>, kSlots> hp{};
+    std::atomic<bool> active{false};
+  };
+
+ public:
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : d_(o.d_), slot_(o.slot_), retired_(std::move(o.retired_)) {
+      o.d_ = nullptr;
+      o.retired_.clear();
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (d_ == nullptr) return;
+      // Remaining retirees may still be protected by other handles:
+      // park them on the domain's leftover stack, freed at teardown.
+      for (Node* n : retired_) d_->push_leftover(n);
+      for (auto& h : d_->slots_[slot_].hp)
+        h.store(nullptr, std::memory_order_release);
+      d_->slots_[slot_].active.store(false, std::memory_order_release);
+    }
+
+    struct Guard {};
+    Guard guard() { return {}; }
+
+    /// Publish: the store must be ordered before the caller's
+    /// revalidation read, hence seq_cst (a release store could be
+    /// reordered past the subsequent load on x86 and elsewhere).
+    void protect(int slot, Node* n) {
+      d_->slots_[slot_].hp[static_cast<std::size_t>(slot)].store(
+          n, std::memory_order_seq_cst);
+    }
+
+    void clear(int slot) {
+      d_->slots_[slot_].hp[static_cast<std::size_t>(slot)].store(
+          nullptr, std::memory_order_release);
+    }
+
+    void retire(Node* n) {
+      retired_.push_back(n);
+      if (retired_.size() >= kRetireThreshold) d_->scan(retired_);
+    }
+
+   private:
+    friend class Hp;
+    Handle(Hp* d, int slot) : d_(d), slot_(slot) {}
+
+    Hp* d_;
+    int slot_;
+    std::vector<Node*> retired_;
+  };
+
+  Hp() = default;
+  Hp(const Hp&) = delete;
+  Hp& operator=(const Hp&) = delete;
+
+  ~Hp() {
+    Node* r = leftovers_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Node* next = r->reg_next;
+      delete r;
+      r = next;
+    }
+  }
+
+  Handle make_handle() {
+    for (int i = 0; i < kMaxHandles; ++i) {
+      bool expected = false;
+      if (slots_[i].active.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel))
+        return Handle(this, i);
+    }
+    PRAGMALIST_CHECK(false, "reclaim::Hp: more than 256 live handles");
+    __builtin_unreachable();
+  }
+
+  void track(Node*) { allocated_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::size_t live_nodes() const {
+    return allocated_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Handle;
+
+  /// Free every retiree no hazard pointer currently protects.
+  void scan(std::vector<Node*>& retired) {
+    std::unordered_set<Node*> protected_nodes;
+    for (const auto& slot : slots_) {
+      if (!slot.active.load(std::memory_order_acquire)) continue;
+      for (const auto& hazard : slot.hp) {
+        Node* n = hazard.load(std::memory_order_acquire);
+        if (n != nullptr) protected_nodes.insert(n);
+      }
+    }
+    std::vector<Node*> keep;
+    keep.reserve(retired.size());
+    std::size_t freed = 0;
+    for (Node* n : retired) {
+      if (protected_nodes.count(n) != 0) {
+        keep.push_back(n);
+      } else {
+        delete n;
+        ++freed;
+      }
+    }
+    retired = std::move(keep);
+    freed_.fetch_add(freed, std::memory_order_relaxed);
+  }
+
+  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
+
+  Slot slots_[kMaxHandles];
+  std::atomic<Node*> leftovers_{nullptr};
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> freed_{0};
+};
+
+}  // namespace pragmalist::reclaim

@@ -1,0 +1,51 @@
+// Pluggable safe memory reclamation for the list variants.
+//
+// Every policy is a class template over the node type and exposes the
+// same duck-typed surface, so the list engines can be parameterized on
+// a `template <typename> class ReclaimPolicy` and select code paths
+// with `if constexpr` on the policy's capability constants:
+//
+//   static constexpr bool kStableAddresses;
+//       Nodes are never freed (or reused) while the list is alive, so
+//       raw node pointers stay dereferenceable across operations. Only
+//       the arena guarantees this; it is what makes per-handle cursors
+//       and the doubly family's back-pointer hints safe without any
+//       per-access protection.
+//   static constexpr bool kHazards;
+//       Traversals must publish a hazard pointer on every node before
+//       dereferencing it and revalidate reachability afterwards (see
+//       singly_family.hpp for the anchored-validation walk). Implies
+//       per-access cost but per-thread bounded garbage.
+//   static constexpr bool kReclaims;
+//       retire() eventually frees nodes mid-run. When true the list
+//       must retire every node it physically detaches and must free the
+//       still-linked chain itself on destruction; when false the policy
+//       owns every tracked node and frees the lot when it dies.
+//
+//   Handle make_handle();        // per-thread, move-only, released on
+//                                // destruction; must not outlive the
+//                                // policy object
+//   void track(Node* n);         // called once per *published* node
+//   std::size_t live_nodes();    // tracked minus freed: the node
+//                                // footprint the churn tests bound
+//
+// Per-thread Handle surface:
+//   auto guard();                // RAII critical section around one
+//                                // operation (epoch pin for EBR, no-op
+//                                // otherwise)
+//   void retire(Node* n);        // n is detached and will never be
+//                                // reached again except through stale
+//                                // protected pointers; free it once no
+//                                // reader can hold it
+//   void protect(int slot, Node* n);  // hazard policies only
+//   void clear(int slot);             //
+//
+// The retire contract every caller upholds: a node is retired by
+// exactly one thread -- the one whose CAS physically detached it --
+// and only after that CAS succeeded. Arena's retire is a no-op;
+// nothing in the shared code assumes retire implies free.
+#pragma once
+
+#include "src/reclaim/arena.hpp"  // IWYU pragma: export
+#include "src/reclaim/ebr.hpp"    // IWYU pragma: export
+#include "src/reclaim/hp.hpp"     // IWYU pragma: export

@@ -25,7 +25,10 @@ INSTANTIATE_TEST_SUITE_P(
     Catalog, EveryVariant,
     ::testing::ValuesIn(harness::all_variant_ids()),
     [](const ::testing::TestParamInfo<std::string_view>& info) {
-      return std::string(info.param);
+      std::string name(info.param);
+      for (char& c : name)        // "singly/ebr" -> "singly_ebr": gtest
+        if (c == '/') c = '_';    // names must be alphanumeric
+      return name;
     });
 
 // N threads, disjoint key ranges, partial removes: the survivors must

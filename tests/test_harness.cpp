@@ -34,6 +34,13 @@ TEST(Options, ParsesSpaceAndEqualsAndBareFlags) {
   EXPECT_EQ(opt.get_int("absent", 42), 42);
 }
 
+TEST(Options, GetStringReturnsRawValueOrDefault) {
+  const auto opt = parse({"--variants", "a,c,e", "--bare"});
+  EXPECT_EQ(opt.get_string("variants", "all"), "a,c,e");
+  EXPECT_EQ(opt.get_string("missing", "all"), "all");
+  EXPECT_EQ(opt.get_string("bare", "def"), "def");
+}
+
 TEST(Options, ParsesLongLists) {
   const auto opt = parse({"--threads", "1,2,4,8"});
   EXPECT_EQ(opt.get_long_list("threads", {}),

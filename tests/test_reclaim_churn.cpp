@@ -1,0 +1,188 @@
+// Sustained-churn stress for the reclamation subsystem: insert/delete
+// loops long enough to force retire-list scans and epoch advances,
+// with quiescent checkpoints *between* churn phases -- validate() used
+// to be exercised only after clean sequential runs, so mid-churn
+// integrity (marked runs, parked leftovers, reused handle slots) went
+// unchecked. The footprint assertions are the point of the tier: under
+// EBR and HP the number of allocated-but-unfreed nodes must stay near
+// the live set no matter how long the churn runs, while the arena
+// grows with every successful insert. Run under ASan/TSan in CI (label
+// `sanitizer`).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/iset.hpp"
+#include "src/harness/catalog.hpp"
+#include "src/harness/thread_team.hpp"
+#include "src/workload/rng.hpp"
+
+namespace pragmalist {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr long kUniverse = 64;
+constexpr long kOpsPerPhase = 6000;  // per thread
+constexpr int kPhases = 4;
+
+/// Footprint ceiling after `phases_done` churn phases: the live set,
+/// plus per-handle in-flight retire bags (EBR may briefly hold a few
+/// multiples of its threshold while epochs catch up), plus leftovers
+/// parked by the handles destroyed so far — all independent of the
+/// per-phase op count, which is what "bounded" means here.
+std::size_t footprint_bound(int phases_done) {
+  return static_cast<std::size_t>(kUniverse) +
+         static_cast<std::size_t>(phases_done) * kThreads * 400 +
+         kThreads * 300;
+}
+
+/// One churn phase: every thread hammers a 50/45/5 add/remove/contains
+/// mix over the small universe (update-heavy so retirements dominate).
+core::OpCounters churn_phase(core::ISet& set, std::uint64_t seed) {
+  std::vector<core::OpCounters> counters(kThreads);
+  harness::run_team(
+      kThreads,
+      [&](int t) {
+        auto h = set.make_handle();
+        workload::Rng rng(workload::thread_seed(seed, t));
+        for (long i = 0; i < kOpsPerPhase; ++i) {
+          const long k = static_cast<long>(rng.below(kUniverse));
+          const auto roll = rng.below(100);
+          if (roll < 50)
+            h->add(k);
+          else if (roll < 95)
+            h->remove(k);
+          else
+            h->contains(k);
+        }
+        counters[static_cast<std::size_t>(t)] = h->counters();
+      },
+      /*pin=*/false);
+  core::OpCounters agg;
+  for (const auto& c : counters) agg += c;
+  return agg;
+}
+
+class EveryReclaimCombo : public ::testing::TestWithParam<std::string_view> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, EveryReclaimCombo,
+    ::testing::ValuesIn(harness::reclaim_variant_ids()),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      std::string name(info.param);
+      for (char& c : name)
+        if (c == '/') c = '_';
+      return name;
+    });
+
+// The reclaiming policies must keep the node footprint bounded by
+// live-set + per-handle garbage, not by the total churn volume, and
+// every quiescent checkpoint mid-churn must see an intact structure.
+TEST_P(EveryReclaimCombo, ChurnKeepsFootprintBoundedAndStructureValid) {
+  auto set = harness::make_set(GetParam());
+  core::OpCounters agg;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    agg += churn_phase(*set, 1000 + static_cast<std::uint64_t>(phase));
+
+    // Quiescent checkpoint: all workers joined, handles destroyed.
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << "phase " << phase << ": " << err;
+    ASSERT_EQ(static_cast<long>(set->size()), agg.adds - agg.rems)
+        << "phase " << phase;
+
+    // Footprint: nowhere near the cumulative churn volume.
+    EXPECT_LE(set->allocated_nodes(), footprint_bound(phase + 1))
+        << "phase " << phase;
+  }
+  // The bound had teeth: the run allocated far more than it may keep.
+  EXPECT_GT(agg.adds, 2 * static_cast<long>(footprint_bound(kPhases)));
+}
+
+// The same churn under the arena must *grow* the footprint: exactly
+// one tracked node per successful insert (plus the head sentinel).
+// This is the contrast that proves the bounded assertion above is
+// measuring reclamation and not a miscounting ledger.
+TEST(ArenaContrast, ArenaFootprintGrowsWithEveryInsert) {
+  for (const std::string_view id :
+       {std::string_view("singly"), std::string_view("doubly_cursor")}) {
+    auto set = harness::make_set(id);
+    core::OpCounters agg;
+    for (int phase = 0; phase < 2; ++phase)
+      agg += churn_phase(*set, 2000 + static_cast<std::uint64_t>(phase));
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << err;
+    EXPECT_EQ(set->allocated_nodes(),
+              static_cast<std::size_t>(agg.adds) + 1)
+        << id;
+  }
+}
+
+// Handle slots must be released and reusable: cycle far more handles
+// than the domain has slots (256), each parking a little garbage.
+TEST(HandleLifecycle, SlotsAreReleasedAndLeftoversParked) {
+  for (const auto id : harness::reclaim_variant_ids()) {
+    auto set = harness::make_set(id);
+    for (int i = 0; i < 300; ++i) {
+      auto h = set->make_handle();
+      EXPECT_TRUE(h->add(i % kUniverse));
+      EXPECT_TRUE(h->remove(i % kUniverse));
+    }
+    std::string err;
+    EXPECT_TRUE(set->validate(&err)) << id << ": " << err;
+    EXPECT_EQ(set->size(), 0u) << id;
+  }
+}
+
+// Regression for the satellite fix: validate() must hold at a
+// quiescent checkpoint in the middle of churn for *every* catalog
+// structure, not only after clean sequential runs.
+class EveryVariantMidChurn
+    : public ::testing::TestWithParam<std::string_view> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, EveryVariantMidChurn,
+    ::testing::ValuesIn(harness::all_variant_ids()),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      std::string name(info.param);
+      for (char& c : name)
+        if (c == '/') c = '_';
+      return name;
+    });
+
+TEST_P(EveryVariantMidChurn, QuiescentCheckpointSeesIntactStructure) {
+  auto set = harness::make_set(GetParam());
+  core::OpCounters agg;
+  for (int phase = 0; phase < 2; ++phase) {
+    std::vector<core::OpCounters> counters(kThreads);
+    harness::run_team(
+        kThreads,
+        [&](int t) {
+          auto h = set->make_handle();
+          workload::Rng rng(workload::thread_seed(
+              3000 + static_cast<std::uint64_t>(phase), t));
+          for (long i = 0; i < 1500; ++i) {
+            const long k = static_cast<long>(rng.below(kUniverse));
+            if (rng.below(2) == 0)
+              h->add(k);
+            else
+              h->remove(k);
+          }
+          counters[static_cast<std::size_t>(t)] = h->counters();
+        },
+        /*pin=*/false);
+    for (const auto& c : counters) agg += c;
+
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << "phase " << phase << ": " << err;
+    ASSERT_EQ(static_cast<long>(set->size()), agg.adds - agg.rems);
+    // Snapshot/membership coherence at the checkpoint.
+    auto h = set->make_handle();
+    for (const long k : set->snapshot())
+      EXPECT_TRUE(h->contains(k)) << "snapshot key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace pragmalist
