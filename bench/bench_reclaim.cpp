@@ -50,13 +50,11 @@ int main(int argc, char** argv) {
   // --variants takes paper row letters (a,c,e) or ids, default all six.
   std::vector<std::string_view> variants;
   {
-    const std::string sel = opt.get_string("variants", "all");
-    std::vector<std::string> tokens;
-    std::stringstream ss(sel);
-    for (std::string item; std::getline(ss, item, ',');)
-      if (!item.empty()) tokens.push_back(item);
+    const std::vector<std::string> tokens =
+        opt.get_string_list("variants", {"all"});
+    const bool all = tokens.size() == 1 && tokens.front() == "all";
     for (const std::string_view id : harness::paper_variant_ids()) {
-      bool wanted = sel == "all";
+      bool wanted = all;
       for (const auto& tok : tokens)
         wanted |= tok == id || tok == harness::variant_letter(id);
       if (wanted) variants.push_back(id);

@@ -1,0 +1,114 @@
+// Long-running service soak across the variant x reclaimer grid:
+// worker threads arrive and depart mid-run on a deterministic schedule
+// (ramp / burst / waves / stragglers / steady) while the harness
+// samples throughput, node footprint, and reclaimer limbo depth once
+// per tick. The question the fixed-duration benches cannot answer:
+// does memory stay bounded when threads come and go for as long as the
+// service runs? Arena rows are deliberately absent -- the paper's
+// scheme grows without bound by design (bench_reclaim shows that);
+// this bench is about the reclaimers surviving membership churn.
+//
+//   bench_soak [--threads-schedule ramp|steady|burst|waves|stragglers]
+//              [--duration SECONDS-PER-ID] [--tick-ms MS]
+//              [--max-threads P] [--u UNIVERSE] [--prefill F]
+//              [--seed S] [--ids all|ID,ID,...] [--no-pin] [--series]
+//
+// Per id: one summary row (kops/s, arrivals, peak/end footprint,
+// peak/end limbo). The full time series of every run goes to
+// bench_soak.csv; --series also prints it.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/service/soak.hpp"
+
+namespace {
+
+void print_series(const pragmalist::service::SoakResult& r) {
+  std::cout << "    tick    t_ms  thr      ops  footprint  limbo\n";
+  for (const auto& s : r.series)
+    std::cout << std::setw(8) << s.tick << std::setw(8) << std::fixed
+              << std::setprecision(0) << s.t_ms << std::setw(5) << s.threads
+              << std::setw(9) << s.ops << std::setw(11) << s.footprint
+              << std::setw(7) << s.limbo << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+
+  service::SoakConfig cfg;
+  cfg.schedule = service::parse_soak_schedule(
+      opt.get_string("threads-schedule", "ramp"));
+  cfg.tick_ms = opt.get_int("tick-ms", 100);
+  if (cfg.tick_ms < 1) cfg.tick_ms = 1;
+  const int duration_s = opt.get_int("duration", 5);
+  cfg.ticks = duration_s * 1000 / cfg.tick_ms;
+  if (cfg.ticks < 1) cfg.ticks = 1;
+  cfg.max_threads =
+      opt.get_int("max-threads", bench::default_threads(opt, 16));
+  cfg.universe = opt.get_long("u", 1024);
+  cfg.prefill = opt.get_long("prefill", cfg.universe / 4);
+  cfg.seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
+  cfg.pin = !opt.get_bool("no-pin");
+  const bool series = opt.get_bool("series");
+
+  // --ids: default is the whole reclaim grid (every <variant>/ebr|hp).
+  std::vector<std::string> ids = opt.get_string_list("ids", {});
+  if (ids.empty() ||
+      (ids.size() == 1 && ids.front() == "all")) {
+    ids.clear();
+    for (const auto id : harness::reclaim_variant_ids())
+      ids.emplace_back(id);
+  }
+
+  std::cout << "Soak grid, schedule=" << soak_schedule_name(cfg.schedule)
+            << ", " << duration_s << " s/id (" << cfg.ticks << " ticks x "
+            << cfg.tick_ms << " ms), max p=" << cfg.max_threads
+            << ", u=" << cfg.universe << ", mix 25/25/50\n"
+            << "(fp = allocated-not-freed nodes, limbo = retired-not-freed;"
+            << " peak over the series / value at the end)\n\n";
+  std::cout << std::left << std::setw(22) << "variant" << std::right
+            << std::setw(10) << "kops/s" << std::setw(10) << "arrivals"
+            << std::setw(14) << "fp peak/end" << std::setw(16)
+            << "limbo peak/end" << "\n";
+
+  std::ofstream csv("bench_soak.csv");
+  if (csv)
+    csv << "id,schedule,tick,t_ms,threads,ops,footprint,limbo\n";
+
+  for (const auto& id : ids) {
+    auto set = harness::make_set(id);
+    const auto r = service::run_soak(*set, cfg);
+
+    // Quiescent integrity + population ledger, like every driver.
+    bench::check_valid(*set);
+    PRAGMALIST_CHECK(
+        static_cast<long>(set->size()) ==
+            cfg.prefill + r.agg.adds - r.agg.rems,
+        "population ledger does not balance after the soak");
+
+    std::ostringstream fp, limbo;
+    fp << r.peak_footprint() << "/" << set->allocated_nodes();
+    limbo << r.peak_limbo() << "/" << set->limbo_nodes();
+    std::cout << std::left << std::setw(22) << id << std::right
+              << std::setw(10) << std::fixed << std::setprecision(0)
+              << r.kops_per_sec() << std::setw(10) << r.arrivals
+              << std::setw(14) << fp.str() << std::setw(15) << limbo.str()
+              << "\n";
+    if (series) print_series(r);
+
+    if (csv)
+      for (const auto& s : r.series)
+        csv << id << "," << soak_schedule_name(cfg.schedule) << ","
+            << s.tick << "," << s.t_ms << "," << s.threads << "," << s.ops
+            << "," << s.footprint << "," << s.limbo << "\n";
+  }
+  if (csv) std::cout << "\ncsv: bench_soak.csv\n";
+  return 0;
+}

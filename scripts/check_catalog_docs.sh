@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Fail if a catalog id registered in src/harness/catalog.cpp is not
+# documented in docs/CATALOG.md (as a backticked `id`). Run by the CI
+# docs job; runnable locally from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ids=$(grep -oE '^\s*\{"[a-z_/]+"' src/harness/catalog.cpp |
+      sed -E 's/.*\{"([a-z_/]+)".*/\1/')
+test -n "$ids" || { echo "no catalog ids parsed from catalog.cpp"; exit 1; }
+
+missing=0
+for id in $ids; do
+  if ! grep -qF "\`$id\`" docs/CATALOG.md; then
+    echo "catalog id '$id' is registered in catalog.cpp but missing from docs/CATALOG.md"
+    missing=1
+  fi
+done
+if [ "$missing" -eq 0 ]; then
+  echo "docs/CATALOG.md covers all $(echo "$ids" | wc -l) catalog ids"
+fi
+exit "$missing"

@@ -92,6 +92,7 @@ class EbrMichaelList {
     return core::quiescent::snapshot(head_);
   }
   std::size_t allocated_nodes() const { return domain_.live_nodes(); }
+  std::size_t limbo_nodes() const { return domain_.limbo_nodes(); }
 
  private:
   struct Pos {

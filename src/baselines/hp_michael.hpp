@@ -96,6 +96,7 @@ class HpMichaelList {
     return core::quiescent::snapshot(head_);
   }
   std::size_t allocated_nodes() const { return domain_.live_nodes(); }
+  std::size_t limbo_nodes() const { return domain_.limbo_nodes(); }
 
  private:
   struct Pos {

@@ -141,6 +141,15 @@ class DoublyFamilyList {
 
   std::size_t allocated_nodes() const { return domain_.live_nodes(); }
 
+  /// Retired-and-not-yet-freed count (0 under the arena); the soak
+  /// harness samples it as the limbo-depth series.
+  std::size_t limbo_nodes() const {
+    if constexpr (Reclaim::kReclaims)
+      return domain_.limbo_nodes();
+    else
+      return 0;
+  }
+
   /// Test-only: break the order invariant by swapping the keys of the
   /// first two physically linked nodes (requires >= 2 nodes).
   void corrupt_order_for_test() {

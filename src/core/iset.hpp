@@ -73,6 +73,12 @@ class ISet {
   /// churn tests assert it stays bounded.
   virtual std::size_t allocated_nodes() const { return 0; }
 
+  /// Nodes retired but not yet freed -- the reclaimer's limbo depth (0
+  /// when the structure does not reclaim). Safe to sample while
+  /// workers run; the soak harness records it as a time series and the
+  /// soak tests assert it stays bounded.
+  virtual std::size_t limbo_nodes() const { return 0; }
+
   virtual std::string_view name() const = 0;
 };
 

@@ -22,6 +22,13 @@ struct HasAllocatedNodes<
     T, std::void_t<decltype(std::declval<const T&>().allocated_nodes())>>
     : std::true_type {};
 
+template <typename T, typename = void>
+struct HasLimboNodes : std::false_type {};
+template <typename T>
+struct HasLimboNodes<
+    T, std::void_t<decltype(std::declval<const T&>().limbo_nodes())>>
+    : std::true_type {};
+
 /// Adapts any concrete structure with the
 /// make_handle()/validate()/size()/snapshot() shape to core::ISet.
 template <typename Structure>
@@ -53,6 +60,12 @@ class SetAdapter final : public core::ISet {
   std::size_t allocated_nodes() const override {
     if constexpr (HasAllocatedNodes<Structure>::value)
       return inner_.allocated_nodes();
+    else
+      return 0;
+  }
+  std::size_t limbo_nodes() const override {
+    if constexpr (HasLimboNodes<Structure>::value)
+      return inner_.limbo_nodes();
     else
       return 0;
   }

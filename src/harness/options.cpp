@@ -97,4 +97,16 @@ std::vector<long> Options::get_long_list(const std::string& name,
   return values.empty() ? def : values;
 }
 
+std::vector<std::string> Options::get_string_list(
+    const std::string& name, const std::vector<std::string>& def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  std::vector<std::string> values;
+  std::stringstream ss(flag->value);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) values.push_back(item);
+  return values.empty() ? def : values;
+}
+
 }  // namespace pragmalist::harness

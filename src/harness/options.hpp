@@ -29,6 +29,10 @@ class Options {
   std::vector<long> get_long_list(const std::string& name,
                                   const std::vector<long>& def) const;
 
+  /// Comma-separated list of strings (e.g. --ids a,b/ebr), or `def`.
+  std::vector<std::string> get_string_list(
+      const std::string& name, const std::vector<std::string>& def) const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

@@ -1,11 +1,24 @@
-// Thread-team runner: spawn p workers, line them up behind a start
-// gate so thread creation is excluded from the measurement, release
-// them together, and report the wall time from release to last join.
+// Thread-team runners.
+//
+//   run_team     -- the fixed-membership runner behind every paper
+//     table: spawn p workers, line them up behind a start gate so
+//     thread creation is excluded from the measurement, release them
+//     together, and report the wall time from release to last join.
+//   DynamicTeam  -- the service-mode runner: workers arrive and depart
+//     mid-run under resize(), each driving its loop body until its
+//     personal stop token flips. Worker ids are arrival ids and are
+//     never reused, so every arrival opens a fresh structure handle
+//     (and every departure closes one) -- exactly the handle-slot
+//     churn the reclaimers' re-lease paths exist for.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/affinity.hpp"
@@ -37,5 +50,75 @@ double run_team(int p, Body&& body, bool pin) {
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
+
+/// Dynamic-membership worker pool for the soak harness. Not a
+/// measurement gate like run_team: workers start the moment they are
+/// spawned and stop when resize() (or the destructor) tells them to.
+/// Departures are LIFO -- the newest arrivals leave first -- so a
+/// ramp-down schedule leaves the longest-lived workers (the
+/// "stragglers") running. Single-owner: resize() and the destructor
+/// must be called from one controlling thread.
+class DynamicTeam {
+ public:
+  /// `body(worker_id, stop)` runs on each worker thread and must
+  /// return promptly once `stop` becomes true. `worker_id` increments
+  /// with every arrival and is never reused.
+  DynamicTeam(std::function<void(int, const std::atomic<bool>&)> body,
+              bool pin)
+      : body_(std::move(body)), pin_(pin) {}
+  DynamicTeam(const DynamicTeam&) = delete;
+  DynamicTeam& operator=(const DynamicTeam&) = delete;
+
+  ~DynamicTeam() { resize(0); }
+
+  /// Grow or shrink the live worker set to `target` (>= 0). Shrinking
+  /// joins the departing workers before returning, so their structure
+  /// handles are fully closed (slots released, limbo handed over) by
+  /// the time resize() returns; all departing stop tokens flip before
+  /// the first join, so a mass departure costs the slowest single
+  /// worker's wind-down, not the sum of them.
+  void resize(int target) {
+    for (std::size_t i = static_cast<std::size_t>(target < 0 ? 0 : target);
+         i < workers_.size(); ++i)
+      workers_[i].stop->store(true, std::memory_order_release);
+    while (static_cast<int>(workers_.size()) > target) {
+      workers_.back().thread.join();
+      workers_.pop_back();
+    }
+    while (static_cast<int>(workers_.size()) < target) {
+      const int id = next_id_++;
+      // Pin by live position, not arrival id: LIFO departures keep
+      // positions 0..n-1 occupied, so live workers always sit on
+      // distinct CPUs no matter how many arrivals came before.
+      const int cpu = static_cast<int>(workers_.size());
+      auto stop = std::make_unique<std::atomic<bool>>(false);
+      std::atomic<bool>* stop_raw = stop.get();
+      std::thread thread([this, id, cpu, stop_raw] {
+        if (pin_) pin_current_thread(cpu);
+        body_(id, *stop_raw);
+      });
+      workers_.push_back(Worker{std::move(thread), std::move(stop)});
+    }
+  }
+
+  /// Live workers right now.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Total arrivals so far (== the next worker id).
+  int arrivals() const { return next_id_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    // Heap-allocated so resize()'s vector growth never moves a token a
+    // running worker is polling.
+    std::unique_ptr<std::atomic<bool>> stop;
+  };
+
+  std::function<void(int, const std::atomic<bool>&)> body_;
+  bool pin_;
+  int next_id_ = 0;
+  std::vector<Worker> workers_;
+};
 
 }  // namespace pragmalist::harness

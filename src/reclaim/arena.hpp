@@ -4,6 +4,19 @@
 // pointers, CAS never sees ABA, and cursors / back-pointer hints are
 // safe with no per-access protection. The EBR and HP policies exist to
 // price real mid-run reclamation against this choice.
+//
+//   Progress guarantee: wait-free -- track() is one lock-free push,
+//     retire() and guard() are no-ops; reclamation cannot interfere
+//     with operations because there is none until teardown.
+//   Memory bound: none by design. The footprint is one node per
+//     successful insert for the whole lifetime of the list (the churn
+//     tier's ArenaContrast test measures exactly this), which is why
+//     the arena is a benchmark-harness scheme and not a service-mode
+//     one.
+//   Engine requirements: none -- any traversal is safe as-is. This is
+//     the only policy with kStableAddresses, the capability gate for
+//     per-handle cursors without a hazard slot and for the doubly
+//     family's back-pointer hints.
 #pragma once
 
 #include <cstddef>

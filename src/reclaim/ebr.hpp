@@ -1,23 +1,78 @@
 // Epoch-based reclamation, extracted from the EBR Michael baseline so
 // any list can use it: operations run inside an epoch-pinned critical
-// section (Handle::guard()); detached nodes are retired with the epoch
-// they died in and freed once every pinned handle has advanced at
-// least two epochs past it. Cheaper per access than hazard pointers
-// (no per-step publish/validate), at the cost of reclamation stalling
-// whenever a thread parks inside a critical section — and of node
-// pointers becoming poison the moment the guard is dropped, which is
-// why kStableAddresses is false and cursor/back-pointer hints are
-// disabled under this policy.
+// section (Handle::guard()); detached nodes are retired into the
+// current epoch's limbo bag and freed once every pinned handle has
+// advanced at least two epochs past it.
+//
+//   Progress guarantee: operations stay lock-free (pin/unpin and
+//     retire are wait-free; the free pass runs outside the pin), but
+//     *reclamation* is only blocking-free in aggregate -- one thread
+//     parked inside a critical section stalls the epoch and no node
+//     retired since its pin can be freed until it unpins.
+//   Memory bound: none in the worst case (a stalled epoch grows limbo
+//     without limit); in steady state limbo per handle is bounded by
+//     the retire rate of roughly three epochs plus kRetireThreshold.
+//     The churn and soak tiers assert the steady-state bound.
+//   Engine requirements: none beyond the retire contract -- traversals
+//     are unchanged (no per-step protection, no marked-node
+//     restrictions), which is why the pragmatic walk keeps its shape
+//     under EBR. Cursors are disabled (kStableAddresses is false and
+//     there is no hazard slot to pin them): a node pointer held across
+//     an unpinned gap may be freed, so every operation starts from the
+//     head.
+//
+// Limbo is **epoch-bucketed**: each handle owns kBags (= 3) rotating
+// bags, one per epoch residue. retire() drops the node into the bag
+// for the current epoch; because the global epoch can only advance
+// when every pinned handle has caught up, by the time the rotation
+// comes back around to a bag (three epochs later) no reader can still
+// hold anything in it, and the whole bag is freed in O(|bag|) --
+// nothing is ever re-examined or rebuilt, so the free-pass cost tracks
+// the number of nodes actually freed, not the total limbo size (the
+// old scheme rebuilt one flat limbo vector per pass, which is O(all
+// of limbo) per pass under churn).
+//
+//   bag lifecycle (global epoch e, bags indexed e % 3):
+//
+//          retire() fills            collect() frees when
+//               v                    min pinned epoch >= bag+2
+//     +-----------------+
+//     | bag[e % 3]      |  epoch e      (current: filling)
+//     +-----------------+
+//     | bag[(e-1) % 3]  |  epoch e-1    (cooling: readers from e-1
+//     +-----------------+               may still hold pointers)
+//     | bag[(e-2) % 3]  |  epoch e-2    (free as soon as every pinned
+//     +-----------------+               handle reaches e, i.e. two
+//                                       advances after retirement)
+//
+//     At epoch e+1 the rotation reuses bag[(e+1) % 3] == bag[(e-2) % 3];
+//     if collect() has not already emptied it, retire() frees it whole
+//     before refilling (same-residue reuse implies the bag is >= 3
+//     epochs old, strictly older than the two-epoch grace period).
+//
+// Departure: a dying handle runs one last collect(), then hands its
+// still-young bags (nodes tagged with their retire epoch) to a small
+// mutex-guarded orphan pool that any survivor's collect() adopts under
+// the same two-epoch rule -- so thread arrival/departure churn cannot
+// grow memory toward teardown. The mutex is taken only at departures
+// and try_locked from collect(); no list operation ever blocks on it.
+//
+// Reclamation runs at guard *release*, after the unpin: freeing while
+// pinned is a death spiral -- a thread scanning with a pre-advance
+// epoch blocks try_advance for everyone, epochs stall, limbo grows,
+// scans get slower, pins get longer. Unpinned passes cannot block
+// anything, so the epoch keeps moving no matter how churn-saturated
+// the workload is (the churn test tier asserts exactly this).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/common/debug.hpp"
-#include "src/core/list_base.hpp"
 
 namespace pragmalist::reclaim {
 
@@ -28,6 +83,7 @@ class Ebr {
   static constexpr bool kHazards = false;
   static constexpr bool kReclaims = true;
   static constexpr int kMaxHandles = 256;
+  static constexpr int kBags = 3;
   static constexpr std::size_t kRetireThreshold = 128;
 
  private:
@@ -37,33 +93,38 @@ class Ebr {
     std::atomic<bool> active{false};
   };
 
+  /// One epoch's worth of retired nodes. `epoch` is meaningful only
+  /// while `nodes` is non-empty.
+  struct Bag {
+    std::vector<Node*> nodes;
+    std::uint64_t epoch = 0;
+  };
+
  public:
   class Handle {
    public:
     Handle(Handle&& o) noexcept
-        : d_(o.d_), slot_(o.slot_), limbo_(std::move(o.limbo_)) {
+        : d_(o.d_), slot_(o.slot_), limbo_size_(o.limbo_size_) {
+      for (int b = 0; b < kBags; ++b) bags_[b] = std::move(o.bags_[b]);
       o.d_ = nullptr;
-      o.limbo_.clear();
+      o.limbo_size_ = 0;
     }
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
     ~Handle() {
       if (d_ == nullptr) return;
-      // One last unpinned free pass, then park whatever is still too
-      // young on the domain's leftover stack, freed at teardown.
-      if (!limbo_.empty()) d_->reclaim(limbo_);
-      for (const auto& [node, epoch] : limbo_) d_->push_leftover(node);
+      // One last unpinned free pass, then hand whatever is still too
+      // young to the domain's orphan pool, where any survivor's next
+      // collect() adopts and frees it. Departing threads therefore
+      // never leak their limbo to the end of the run -- the service
+      // tier's arrival/departure churn depends on this.
+      collect();
+      d_->orphan_bags(bags_, *this);
       d_->slots_[slot_].active.store(false, std::memory_order_release);
     }
 
-    /// RAII epoch pin around one operation. Reclamation runs at guard
-    /// *release*, after the unpin: the free pass rebuilds the limbo
-    /// list in O(|limbo|), and doing that while pinned is a death
-    /// spiral -- a thread scanning with a pre-advance epoch blocks
-    /// try_advance for everyone, epochs stall, limbo grows, scans get
-    /// slower, pins get longer. Unpinned scans cannot block anything,
-    /// so the epoch keeps moving no matter how churn-saturated the
-    /// workload is (the churn test tier asserts exactly this).
+    /// RAII epoch pin around one operation. See the file comment for
+    /// why the free pass runs at release, never while pinned.
     class Guard {
      public:
       explicit Guard(Handle& h) : h_(h) {
@@ -82,7 +143,13 @@ class Ebr {
       ~Guard() {
         h_.d_->slots_[h_.slot_].pinned.store(false,
                                              std::memory_order_release);
-        if (h_.limbo_.size() >= kRetireThreshold) h_.d_->reclaim(h_.limbo_);
+        // Collect on own pressure, or on orphan-pool pressure: a
+        // straggler that barely retires must still adopt the garbage
+        // of departed threads, or a join/leave-heavy run leaks.
+        if (h_.limbo_size_ >= kRetireThreshold ||
+            h_.d_->orphan_count_.load(std::memory_order_relaxed) >=
+                kRetireThreshold)
+          h_.collect();
       }
 
      private:
@@ -92,9 +159,40 @@ class Ebr {
     Guard guard() { return Guard(*this); }
 
     void retire(Node* n) {
-      limbo_.emplace_back(n,
-                          d_->global_epoch_.load(std::memory_order_acquire));
+      const std::uint64_t e =
+          d_->global_epoch_.load(std::memory_order_acquire);
+      Bag& bag = bags_[e % kBags];
+      if (!bag.nodes.empty() && bag.epoch != e) {
+        // Same residue, strictly older: the bag is >= kBags epochs old,
+        // past the two-epoch grace period, free it whole before reuse.
+        d_->free_bag(bag, *this);
+      }
+      bag.epoch = e;
+      bag.nodes.push_back(n);
+      ++limbo_size_;
+      d_->limbo_.fetch_add(1, std::memory_order_relaxed);
     }
+
+    /// Free pass: advance the epoch if possible, then free every bag
+    /// two epochs behind the slowest pinned handle. O(#bags freed +
+    /// kMaxHandles), never O(total limbo). Intended to run unpinned
+    /// (the guard destructor calls it after the unpin -- see file
+    /// comment); calling it inside a live guard is safe but mostly
+    /// futile, as the caller's own pin holds the horizon back. Public
+    /// so departing service workers and the bucket-rotation tests can
+    /// force a pass.
+    void collect() {
+      d_->try_advance();
+      const std::uint64_t min_epoch = d_->min_pinned_epoch();
+      for (Bag& bag : bags_) {
+        if (bag.nodes.empty()) continue;
+        if (bag.epoch + 2 <= min_epoch) d_->free_bag(bag, *this);
+      }
+      d_->collect_orphans(min_epoch);
+    }
+
+    /// Retired-not-yet-freed nodes parked on this handle.
+    std::size_t limbo_size() const { return limbo_size_; }
 
    private:
     friend class Ebr;
@@ -102,7 +200,8 @@ class Ebr {
 
     Ebr* d_;
     int slot_;
-    std::vector<std::pair<Node*, std::uint64_t>> limbo_;
+    Bag bags_[kBags];
+    std::size_t limbo_size_ = 0;
   };
 
   Ebr() = default;
@@ -110,12 +209,7 @@ class Ebr {
   Ebr& operator=(const Ebr&) = delete;
 
   ~Ebr() {
-    Node* r = leftovers_.load(std::memory_order_acquire);
-    while (r != nullptr) {
-      Node* next = r->reg_next;
-      delete r;
-      r = next;
-    }
+    for (const auto& entry : orphans_) delete entry.first;
   }
 
   Handle make_handle() {
@@ -136,13 +230,32 @@ class Ebr {
            freed_.load(std::memory_order_relaxed);
   }
 
+  /// Retired-not-yet-freed nodes across every handle plus the orphan
+  /// pool left by departed handles. The soak harness samples this as
+  /// the limbo-depth series.
+  std::size_t limbo_nodes() const {
+    return limbo_.load(std::memory_order_relaxed);
+  }
+
+  /// Current global epoch (metrics/tests only).
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Handle;
 
-  void reclaim(std::vector<std::pair<Node*, std::uint64_t>>& limbo) {
-    try_advance();
-    // A node retired in epoch e is free once every pinned handle has
-    // observed an epoch > e + 1.
+  void free_bag(Bag& bag, Handle& h) {
+    for (Node* n : bag.nodes) delete n;
+    freed_.fetch_add(bag.nodes.size(), std::memory_order_relaxed);
+    limbo_.fetch_sub(bag.nodes.size(), std::memory_order_relaxed);
+    h.limbo_size_ -= bag.nodes.size();
+    bag.nodes.clear();
+  }
+
+  /// Smallest epoch any pinned handle has published (the reclamation
+  /// horizon); the global epoch when nothing is pinned.
+  std::uint64_t min_pinned_epoch() const {
     std::uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
     for (const auto& slot : slots_) {
       if (!slot.active.load(std::memory_order_acquire)) continue;
@@ -150,19 +263,7 @@ class Ebr {
       const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
       if (e < min_epoch) min_epoch = e;
     }
-    std::vector<std::pair<Node*, std::uint64_t>> keep;
-    keep.reserve(limbo.size());
-    std::size_t freed = 0;
-    for (const auto& entry : limbo) {
-      if (entry.second + 2 <= min_epoch) {
-        delete entry.first;
-        ++freed;
-      } else {
-        keep.push_back(entry);
-      }
-    }
-    limbo = std::move(keep);
-    freed_.fetch_add(freed, std::memory_order_relaxed);
+    return min_epoch;
   }
 
   /// Bump the global epoch if every pinned handle caught up with it.
@@ -178,13 +279,51 @@ class Ebr {
                                           std::memory_order_seq_cst);
   }
 
-  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
+  /// Departure path: move a dying handle's too-young bags into the
+  /// orphan pool, keeping each node's retire epoch so adoption applies
+  /// the same two-epoch rule. The mutex is only ever taken here (rare:
+  /// schedule edges) and in collect_orphans (try_lock, off the
+  /// operation path), so operations themselves stay lock-free.
+  void orphan_bags(Bag (&bags)[kBags], Handle& h) {
+    std::lock_guard<std::mutex> lock(orphans_mu_);
+    for (Bag& bag : bags) {
+      for (Node* n : bag.nodes) orphans_.emplace_back(n, bag.epoch);
+      h.limbo_size_ -= bag.nodes.size();
+      bag.nodes.clear();
+    }
+    orphan_count_.store(orphans_.size(), std::memory_order_relaxed);
+  }
+
+  /// Free every orphan whose epoch is two behind the horizon. Skips
+  /// out immediately when the pool is empty or contended.
+  void collect_orphans(std::uint64_t min_epoch) {
+    if (orphan_count_.load(std::memory_order_relaxed) == 0) return;
+    if (!orphans_mu_.try_lock()) return;
+    std::size_t freed = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < orphans_.size(); ++r) {
+      if (orphans_[r].second + 2 <= min_epoch) {
+        delete orphans_[r].first;
+        ++freed;
+      } else {
+        orphans_[w++] = orphans_[r];
+      }
+    }
+    orphans_.resize(w);
+    orphan_count_.store(w, std::memory_order_relaxed);
+    orphans_mu_.unlock();
+    freed_.fetch_add(freed, std::memory_order_relaxed);
+    limbo_.fetch_sub(freed, std::memory_order_relaxed);
+  }
 
   Slot slots_[kMaxHandles];
   std::atomic<std::uint64_t> global_epoch_{2};
-  std::atomic<Node*> leftovers_{nullptr};
   std::atomic<std::size_t> allocated_{0};
   std::atomic<std::size_t> freed_{0};
+  std::atomic<std::size_t> limbo_{0};
+  std::mutex orphans_mu_;
+  std::vector<std::pair<Node*, std::uint64_t>> orphans_;  // guarded by mu
+  std::atomic<std::size_t> orphan_count_{0};
 };
 
 }  // namespace pragmalist::reclaim

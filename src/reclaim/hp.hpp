@@ -5,9 +5,42 @@
 // then use the node until the cell is overwritten. scan() frees every
 // retiree no cell currently protects.
 //
+//   Progress guarantee: fully lock-free, including reclamation -- a
+//     parked thread pins at most kSlots nodes forever; it can never
+//     stall anyone else's frees the way a parked EBR pin stalls the
+//     epoch.
+//   Memory bound: per-domain garbage is bounded by
+//     kMaxHandles * (kRetireThreshold + kSlots) regardless of how long
+//     the run lasts or how threads come and go -- the strongest bound
+//     of the three policies (the churn and soak tiers assert it).
+//   Engine requirements: the engine must run a hazard traversal --
+//     publish into a slot before every dereference and revalidate
+//     afterwards. Stepping over marked nodes additionally requires the
+//     anchored-validation walk (core::hazard::anchored_walk): plain HP
+//     validation cannot detect that a marked node's frozen successor
+//     chain was swept, see list_base.hpp. Per-handle cursors are
+//     supported via a dedicated persistent slot (hazard::kCursor).
+//
 // Slot-role conventions are the caller's business: the Michael
 // baseline uses three (cur/succ/pred); the pragmatic engines use four
 // (anchor/walk/succ + a persistent cursor slot, see singly_family.hpp).
+//
+// Cursor-slot reuse (departure/arrival protocol): hazard slots are a
+// fixed kMaxHandles-entry table, so a long-running service must
+// re-lease the slots of departed threads to arrivals. A departing
+// handle (destructor) does, in order:
+//   1. one last scan(), freeing every retiree no cell protects;
+//   2. hands survivors to the domain's lock-free *orphan* stack -- the
+//      next scan() by any live handle adopts and frees them, so a
+//      departed thread's garbage never waits for domain teardown;
+//   3. clears all kSlots cells -- including the persistent kCursor
+//      cell, which unlike the traversal cells is deliberately kept
+//      published *between* operations and would otherwise pin its node
+//      (and with it one list position) for the rest of the run;
+//   4. releases the slot with a release-store that the arrival's
+//      acquire-CAS in make_handle() synchronizes with, so a re-leased
+//      slot is observed with all cells null and no stale protection
+//      can leak from the previous owner into the new lease.
 #pragma once
 
 #include <array>
@@ -50,9 +83,14 @@ class Hp {
     Handle& operator=(const Handle&) = delete;
     ~Handle() {
       if (d_ == nullptr) return;
-      // Remaining retirees may still be protected by other handles:
-      // park them on the domain's leftover stack, freed at teardown.
-      for (Node* n : retired_) d_->push_leftover(n);
+      // Departure protocol -- see the file comment. The final scan runs
+      // with our own cells still published, so a self-protected cursor
+      // node correctly survives into the orphan stack rather than being
+      // freed out from under a concurrent reader of the same node.
+      d_->scan(retired_);
+      d_->limbo_.fetch_sub(retired_.size(), std::memory_order_relaxed);
+      for (Node* n : retired_) d_->push_orphan(n);
+      retired_.clear();
       for (auto& h : d_->slots_[slot_].hp)
         h.store(nullptr, std::memory_order_release);
       d_->slots_[slot_].active.store(false, std::memory_order_release);
@@ -76,8 +114,16 @@ class Hp {
 
     void retire(Node* n) {
       retired_.push_back(n);
-      if (retired_.size() >= kRetireThreshold) d_->scan(retired_);
+      d_->limbo_.fetch_add(1, std::memory_order_relaxed);
+      if (retired_.size() >= kRetireThreshold) collect();
     }
+
+    /// Scan now instead of waiting for the retire threshold (departing
+    /// service workers and the slot-reuse tests force passes with it).
+    void collect() { d_->scan(retired_); }
+
+    /// Retired-not-yet-freed nodes parked on this handle.
+    std::size_t limbo_size() const { return retired_.size(); }
 
    private:
     friend class Hp;
@@ -93,7 +139,7 @@ class Hp {
   Hp& operator=(const Hp&) = delete;
 
   ~Hp() {
-    Node* r = leftovers_.load(std::memory_order_acquire);
+    Node* r = orphans_.load(std::memory_order_acquire);
     while (r != nullptr) {
       Node* next = r->reg_next;
       delete r;
@@ -105,8 +151,15 @@ class Hp {
     for (int i = 0; i < kMaxHandles; ++i) {
       bool expected = false;
       if (slots_[i].active.compare_exchange_strong(
-              expected, true, std::memory_order_acq_rel))
+              expected, true, std::memory_order_acq_rel)) {
+        // Re-lease: the departed owner's release-store of `active`
+        // ordered its cell clears before this CAS, so the cells are
+        // null; re-null defensively so a fresh lease never starts with
+        // stale protection even if the slot was never used before.
+        for (auto& h : slots_[i].hp)
+          h.store(nullptr, std::memory_order_relaxed);
         return Handle(this, i);
+      }
     }
     PRAGMALIST_CHECK(false, "reclaim::Hp: more than 256 live handles");
     __builtin_unreachable();
@@ -119,11 +172,27 @@ class Hp {
            freed_.load(std::memory_order_relaxed);
   }
 
+  /// Retired-not-yet-freed nodes: every handle's retire bag plus the
+  /// orphan stack. The soak harness samples this as the limbo-depth
+  /// series.
+  std::size_t limbo_nodes() const {
+    return limbo_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Handle;
 
-  /// Free every retiree no hazard pointer currently protects.
+  /// Free every retiree no hazard pointer currently protects. Adopts
+  /// the orphan stack first (retirees of departed handles), so one
+  /// surviving handle is enough to keep the whole domain's garbage
+  /// bounded under thread churn.
   void scan(std::vector<Node*>& retired) {
+    Node* o = orphans_.exchange(nullptr, std::memory_order_acq_rel);
+    while (o != nullptr) {
+      Node* next = o->reg_next;
+      retired.push_back(o);
+      o = next;
+    }
     std::unordered_set<Node*> protected_nodes;
     for (const auto& slot : slots_) {
       if (!slot.active.load(std::memory_order_acquire)) continue;
@@ -145,14 +214,19 @@ class Hp {
     }
     retired = std::move(keep);
     freed_.fetch_add(freed, std::memory_order_relaxed);
+    limbo_.fetch_sub(freed, std::memory_order_relaxed);
   }
 
-  void push_leftover(Node* n) { core::push_intrusive(leftovers_, n); }
+  void push_orphan(Node* n) {
+    limbo_.fetch_add(1, std::memory_order_relaxed);
+    core::push_intrusive(orphans_, n);
+  }
 
   Slot slots_[kMaxHandles];
-  std::atomic<Node*> leftovers_{nullptr};
+  std::atomic<Node*> orphans_{nullptr};
   std::atomic<std::size_t> allocated_{0};
   std::atomic<std::size_t> freed_{0};
+  std::atomic<std::size_t> limbo_{0};
 };
 
 }  // namespace pragmalist::reclaim

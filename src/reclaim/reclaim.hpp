@@ -24,10 +24,16 @@
 //
 //   Handle make_handle();        // per-thread, move-only, released on
 //                                // destruction; must not outlive the
-//                                // policy object
+//                                // policy object. Slots are re-leased:
+//                                // a departed handle's slot (and its
+//                                // hazard cells) may be handed to a
+//                                // later arrival, see hp.hpp
 //   void track(Node* n);         // called once per *published* node
 //   std::size_t live_nodes();    // tracked minus freed: the node
 //                                // footprint the churn tests bound
+//   std::size_t limbo_nodes();   // reclaiming policies only: retired
+//                                // but not yet freed -- the limbo
+//                                // depth the soak harness samples
 //
 // Per-thread Handle surface:
 //   auto guard();                // RAII critical section around one
@@ -37,8 +43,14 @@
 //                                // reached again except through stale
 //                                // protected pointers; free it once no
 //                                // reader can hold it
+//   void collect();              // reclaiming policies only: force a
+//                                // free pass now (departing service
+//                                // workers, tests)
 //   void protect(int slot, Node* n);  // hazard policies only
 //   void clear(int slot);             //
+//
+// Each policy header states its progress guarantee, worst-case memory
+// bound, and the traversal capabilities it demands of the engine.
 //
 // The retire contract every caller upholds: a node is retired by
 // exactly one thread -- the one whose CAS physically detached it --

@@ -1,0 +1,90 @@
+// Deterministic arrival/departure schedules for the soak harness: a
+// pure function from (schedule kind, tick, total ticks, max workers)
+// to a target worker count. Pure integer arithmetic only, so the
+// join/leave pattern of a soak run is reproducible bit-for-bit across
+// platforms (the tier-1 golden tests pin the sequences).
+//
+// The kinds model the thread dynamics a long-running service actually
+// sees, which the fixed-membership paper harness never exercises:
+//
+//   steady      -- p workers for the whole run (the control: matches
+//                  the fixed-team benches, but with soak sampling).
+//   ramp        -- triangular: 1 -> p over the first half, p -> 1 over
+//                  the second. Every tick is a join or leave phase.
+//   burst       -- a quiet baseline of ~p/4 workers with periodic
+//                  2-tick spikes to p: bursty arrival storms against a
+//                  warm structure.
+//   waves       -- alternate between p/2 and p every 4 ticks: sustained
+//                  oscillation, half the pool repeatedly re-leasing
+//                  the other half's reclaimer slots.
+//   stragglers  -- ramp to p over the first two thirds, then mass
+//                  departure to a single long-lived straggler: the
+//                  worst case for departed-thread garbage, since one
+//                  survivor must be able to adopt and free everything
+//                  the leavers retired.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/debug.hpp"
+
+namespace pragmalist::service {
+
+enum class SoakSchedule { kSteady, kRamp, kBurst, kWaves, kStragglers };
+
+inline std::string_view soak_schedule_name(SoakSchedule s) {
+  switch (s) {
+    case SoakSchedule::kSteady: return "steady";
+    case SoakSchedule::kRamp: return "ramp";
+    case SoakSchedule::kBurst: return "burst";
+    case SoakSchedule::kWaves: return "waves";
+    case SoakSchedule::kStragglers: return "stragglers";
+  }
+  return "?";
+}
+
+/// Parse a --threads-schedule value; aborts with the known names on a
+/// typo (same contract as harness::make_set).
+inline SoakSchedule parse_soak_schedule(std::string_view name) {
+  for (const SoakSchedule s :
+       {SoakSchedule::kSteady, SoakSchedule::kRamp, SoakSchedule::kBurst,
+        SoakSchedule::kWaves, SoakSchedule::kStragglers}) {
+    if (name == soak_schedule_name(s)) return s;
+  }
+  const std::string msg = "unknown soak schedule '" + std::string(name) +
+                          "'; known: steady ramp burst waves stragglers";
+  PRAGMALIST_CHECK(false, msg.c_str());
+  __builtin_unreachable();
+}
+
+/// Target worker count at `tick` (0-based) of a `ticks`-tick soak with
+/// at most `p` workers. Always in [1, p]: the pool never empties, so
+/// there is always a survivor to adopt departed workers' garbage and
+/// the throughput series never degenerates to zero-by-construction.
+inline int thread_target(SoakSchedule s, int tick, int ticks, int p) {
+  if (p <= 1 || ticks <= 1) return p < 1 ? 1 : p;
+  const int last = ticks - 1;
+  switch (s) {
+    case SoakSchedule::kSteady:
+      return p;
+    case SoakSchedule::kRamp: {
+      // Distance from the nearer end, scaled so the midpoint hits p
+      // (rounded integer division keeps it symmetric).
+      const int j = tick < last - tick ? tick : last - tick;
+      return 1 + (2 * j * (p - 1) + last / 2) / last;
+    }
+    case SoakSchedule::kBurst:
+      return tick % 8 < 2 ? p : 1 + (p - 1) / 4;
+    case SoakSchedule::kWaves:
+      return (tick / 4) % 2 == 0 ? 1 + (p - 1) / 2 : p;
+    case SoakSchedule::kStragglers: {
+      const int ramp_ticks = (2 * ticks) / 3;
+      if (tick >= ramp_ticks) return 1;
+      return 1 + ((tick + 1) * (p - 1) + ramp_ticks - 1) / ramp_ticks;
+    }
+  }
+  return p;
+}
+
+}  // namespace pragmalist::service

@@ -1,0 +1,126 @@
+#include "src/service/soak.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/common/debug.hpp"
+#include "src/harness/thread_team.hpp"
+#include "src/workload/rng.hpp"
+
+namespace pragmalist::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::size_t SoakResult::peak_footprint() const {
+  std::size_t peak = 0;
+  for (const auto& s : series)
+    if (s.footprint > peak) peak = s.footprint;
+  return peak;
+}
+
+std::size_t SoakResult::peak_limbo() const {
+  std::size_t peak = 0;
+  for (const auto& s : series)
+    if (s.limbo > peak) peak = s.limbo;
+  return peak;
+}
+
+SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
+  PRAGMALIST_CHECK(cfg.max_threads >= 1 && cfg.ticks >= 1,
+                   "soak needs at least one worker and one tick");
+  PRAGMALIST_CHECK(cfg.tick_ms >= 1, "soak tick must be at least 1 ms");
+  PRAGMALIST_CHECK(cfg.prefill <= cfg.universe,
+                   "cannot prefill more distinct keys than the universe");
+
+  {
+    // Prefill on a scratch handle, outside the clock and the ledger
+    // (population conservation is prefill + adds - rems, as in
+    // run_random_mix).
+    auto handle = set.make_handle();
+    workload::Rng rng(workload::thread_seed(cfg.seed, -1));
+    long inserted = 0;
+    while (inserted < cfg.prefill) {
+      const auto key = static_cast<long>(
+          rng.below(static_cast<std::uint64_t>(cfg.universe)));
+      inserted += handle->add(key);
+    }
+  }
+
+  // Workers hammer ops until told to stop, bumping a shared window
+  // counter the sampler reads and resets each tick. On departure a
+  // worker folds its counters into the aggregate under a mutex --
+  // departures are rare (schedule edges), so this is off every hot
+  // path.
+  std::atomic<long> window_ops{0};
+  std::mutex agg_mu;
+  core::OpCounters agg;
+  auto body = [&](int worker_id, const std::atomic<bool>& stop) {
+    auto handle = set.make_handle();
+    workload::Rng rng(workload::thread_seed(cfg.seed, worker_id));
+    long local_ops = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto key = static_cast<long>(
+          rng.below(static_cast<std::uint64_t>(cfg.universe)));
+      switch (cfg.mix.pick(rng)) {
+        case workload::OpKind::kAdd:
+          handle->add(key);
+          break;
+        case workload::OpKind::kRemove:
+          handle->remove(key);
+          break;
+        case workload::OpKind::kContains:
+          handle->contains(key);
+          break;
+      }
+      // Batch the shared-counter bump so sampling does not serialize
+      // the workers on one cache line.
+      if (++local_ops % 64 == 0)
+        window_ops.fetch_add(64, std::memory_order_relaxed);
+    }
+    window_ops.fetch_add(local_ops % 64, std::memory_order_relaxed);
+    const core::OpCounters ctr = handle->counters();
+    handle.reset();  // close the handle *before* reporting: departure
+                     // means the reclaimer slot is released
+    std::lock_guard<std::mutex> lock(agg_mu);
+    agg += ctr;
+  };
+
+  SoakResult result;
+  result.series.reserve(static_cast<std::size_t>(cfg.ticks));
+  const auto start = Clock::now();
+  {
+    harness::DynamicTeam team(body, cfg.pin);
+    for (int tick = 0; tick < cfg.ticks; ++tick) {
+      const int target =
+          thread_target(cfg.schedule, tick, cfg.ticks, cfg.max_threads);
+      team.resize(target);
+      if (target > result.peak_threads) result.peak_threads = target;
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.tick_ms));
+      SoakSample s;
+      s.tick = tick;
+      s.t_ms = ms_since(start);
+      s.threads = target;
+      s.ops = window_ops.exchange(0, std::memory_order_relaxed);
+      s.footprint = set.allocated_nodes();
+      s.limbo = set.limbo_nodes();
+      result.series.push_back(s);
+    }
+    team.resize(0);  // join everyone before the clock stops
+    result.arrivals = team.arrivals();
+  }
+  result.ms = ms_since(start);
+  result.agg = agg;
+  return result;
+}
+
+}  // namespace pragmalist::service

@@ -1,0 +1,68 @@
+// Service-mode soak driver: run a structure under a random-mix
+// workload for a fixed wall-clock duration while worker threads arrive
+// and depart on a schedule (src/service/schedule.hpp), sampling
+// throughput, node footprint, and reclaimer limbo depth once per tick.
+//
+// This is the scenario the fixed-membership paper harness never
+// models and the reclaimers of src/reclaim/ exist for: every arrival
+// opens a fresh handle (leasing an EBR epoch slot or an HP hazard-cell
+// row), every departure closes one (handing its limbo to survivors),
+// and the time series shows whether memory stays bounded while that
+// churn runs -- bench_soak prints/CSVs the series, the soak stress
+// tests assert the bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/iset.hpp"
+#include "src/service/schedule.hpp"
+#include "src/workload/op_mix.hpp"
+
+namespace pragmalist::service {
+
+struct SoakConfig {
+  SoakSchedule schedule = SoakSchedule::kRamp;
+  int max_threads = 4;     // schedule peak; the floor is always 1
+  int ticks = 20;          // schedule steps == samples taken
+  int tick_ms = 100;       // wall time per tick
+  long universe = 1024;    // key range [0, universe)
+  long prefill = 256;      // distinct keys inserted before the clock
+  workload::OpMix mix = workload::kScalingMix;  // 25/25/50
+  std::uint64_t seed = 42;
+  bool pin = false;
+};
+
+/// One per-tick observation. `ops` is the number of operations
+/// completed inside this tick's window (not cumulative).
+struct SoakSample {
+  int tick = 0;
+  double t_ms = 0.0;         // elapsed wall time at sample
+  int threads = 0;           // live workers during this tick
+  long ops = 0;              // ops completed in this window
+  std::size_t footprint = 0;  // ISet::allocated_nodes()
+  std::size_t limbo = 0;      // ISet::limbo_nodes()
+};
+
+struct SoakResult {
+  std::vector<SoakSample> series;
+  core::OpCounters agg;  // every worker that ran, departed or not
+  double ms = 0.0;       // whole soak wall time
+  int arrivals = 0;      // handles opened over the run
+  int peak_threads = 0;
+
+  long total_ops() const { return agg.total_ops(); }
+  double kops_per_sec() const {
+    return ms > 0.0 ? static_cast<double>(total_ops()) / ms : 0.0;
+  }
+  std::size_t peak_footprint() const;
+  std::size_t peak_limbo() const;
+};
+
+/// Run the soak. On return all workers have departed, so the set is
+/// quiescent: callers should validate() and check the population
+/// ledger (prefill + adds - rems == size) like every other driver.
+SoakResult run_soak(core::ISet& set, const SoakConfig& cfg);
+
+}  // namespace pragmalist::service

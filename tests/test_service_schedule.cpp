@@ -1,0 +1,321 @@
+// Tier-1 units for the service-mode subsystem:
+//  * soak-schedule determinism -- golden join/leave sequences for every
+//    schedule kind (the soak harness's thread dynamics are pure
+//    integer arithmetic and must never drift across platforms), plus
+//    range/shape properties over a parameter sweep;
+//  * EBR epoch-bucket lifecycle -- nothing frees earlier than two
+//    epochs after retirement, a pinned straggler blocks the horizon,
+//    bag rotation frees a stale same-residue bag on reuse, and a
+//    departing handle's young limbo is adopted from the orphan pool;
+//  * HP slot re-lease -- a departed handle's cursor-cell protection
+//    does not leak into the next lease, and its orphaned retirees are
+//    adopted and freed by survivors;
+//  * DynamicTeam -- arrivals get fresh never-reused ids, resize joins
+//    departures before returning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/list_base.hpp"
+#include "src/harness/thread_team.hpp"
+#include "src/reclaim/reclaim.hpp"
+#include "src/service/schedule.hpp"
+
+namespace pragmalist {
+namespace {
+
+using service::SoakSchedule;
+using service::thread_target;
+
+std::vector<int> sequence(SoakSchedule s, int ticks, int p) {
+  std::vector<int> seq;
+  for (int i = 0; i < ticks; ++i)
+    seq.push_back(thread_target(s, i, ticks, p));
+  return seq;
+}
+
+// --- schedule determinism -------------------------------------------
+
+TEST(SoakSchedule, GoldenSteady) {
+  EXPECT_EQ(sequence(SoakSchedule::kSteady, 12, 8),
+            (std::vector<int>{8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8}));
+}
+
+TEST(SoakSchedule, GoldenRamp) {
+  // Odd tick count: the midpoint hits the full pool exactly.
+  EXPECT_EQ(sequence(SoakSchedule::kRamp, 13, 8),
+            (std::vector<int>{1, 2, 3, 5, 6, 7, 8, 7, 6, 5, 3, 2, 1}));
+}
+
+TEST(SoakSchedule, GoldenBurst) {
+  EXPECT_EQ(sequence(SoakSchedule::kBurst, 12, 8),
+            (std::vector<int>{8, 8, 2, 2, 2, 2, 2, 2, 8, 8, 2, 2}));
+}
+
+TEST(SoakSchedule, GoldenWaves) {
+  EXPECT_EQ(sequence(SoakSchedule::kWaves, 12, 8),
+            (std::vector<int>{4, 4, 4, 4, 8, 8, 8, 8, 4, 4, 4, 4}));
+}
+
+TEST(SoakSchedule, GoldenStragglers) {
+  // Ramp to the full pool over two thirds, then mass departure down to
+  // one long-lived straggler.
+  EXPECT_EQ(sequence(SoakSchedule::kStragglers, 12, 8),
+            (std::vector<int>{2, 3, 4, 5, 6, 7, 8, 8, 1, 1, 1, 1}));
+}
+
+TEST(SoakSchedule, TargetsAlwaysWithinPoolBounds) {
+  for (const SoakSchedule s :
+       {SoakSchedule::kSteady, SoakSchedule::kRamp, SoakSchedule::kBurst,
+        SoakSchedule::kWaves, SoakSchedule::kStragglers}) {
+    for (int ticks = 1; ticks <= 40; ++ticks) {
+      for (int p = 1; p <= 12; ++p) {
+        for (int i = 0; i < ticks; ++i) {
+          const int t = thread_target(s, i, ticks, p);
+          ASSERT_GE(t, 1) << service::soak_schedule_name(s) << " tick " << i;
+          ASSERT_LE(t, p) << service::soak_schedule_name(s) << " tick " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SoakSchedule, RampIsUnimodalAndReachesBothEnds) {
+  const auto seq = sequence(SoakSchedule::kRamp, 21, 8);
+  EXPECT_EQ(seq.front(), 1);
+  EXPECT_EQ(seq.back(), 1);
+  EXPECT_EQ(seq[10], 8);  // midpoint hits the pool maximum
+  for (int i = 1; i <= 10; ++i) EXPECT_GE(seq[i], seq[i - 1]) << i;
+  for (int i = 11; i < 21; ++i) EXPECT_LE(seq[i], seq[i - 1]) << i;
+}
+
+TEST(SoakSchedule, NamesRoundTrip) {
+  for (const SoakSchedule s :
+       {SoakSchedule::kSteady, SoakSchedule::kRamp, SoakSchedule::kBurst,
+        SoakSchedule::kWaves, SoakSchedule::kStragglers})
+    EXPECT_EQ(service::parse_soak_schedule(service::soak_schedule_name(s)),
+              s);
+}
+
+// --- EBR epoch-bucket lifecycle -------------------------------------
+
+/// Node whose destructor reports into a shared counter, so the tests
+/// observe exactly when the policy frees.
+struct CountingNode {
+  explicit CountingNode(std::atomic<int>* f) : freed(f) {}
+  ~CountingNode() { freed->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* freed;
+  CountingNode* reg_next = nullptr;  // for the HP orphan stack
+};
+
+TEST(EbrBuckets, NothingFreesEarlierThanTwoEpochs) {
+  std::atomic<int> freed{0};
+  reclaim::Ebr<CountingNode> d;
+  auto h = d.make_handle();
+  auto* n = new CountingNode(&freed);
+  d.track(n);
+
+  const std::uint64_t e0 = d.epoch();
+  {
+    auto g = h.guard();
+    h.retire(n);
+  }
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(d.limbo_nodes(), 1u);
+  EXPECT_EQ(h.limbo_size(), 1u);
+
+  h.collect();  // advances to e0+1: one epoch past retirement, too soon
+  EXPECT_EQ(d.epoch(), e0 + 1);
+  EXPECT_EQ(freed.load(), 0);
+
+  h.collect();  // advances to e0+2: the grace period has passed
+  EXPECT_EQ(d.epoch(), e0 + 2);
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(d.limbo_nodes(), 0u);
+  EXPECT_EQ(h.limbo_size(), 0u);
+}
+
+TEST(EbrBuckets, PinnedStragglerBlocksTheHorizon) {
+  std::atomic<int> freed{0};
+  reclaim::Ebr<CountingNode> d;
+  auto h1 = d.make_handle();
+  auto h2 = d.make_handle();
+  auto* n = new CountingNode(&freed);
+  d.track(n);
+  {
+    auto straggler = h2.guard();  // pins h2 at the current epoch
+    {
+      auto g = h1.guard();
+      h1.retire(n);
+    }
+    for (int i = 0; i < 10; ++i) h1.collect();
+    // The straggler's pin caps min_pinned_epoch at the retire epoch,
+    // so no amount of collecting may free the node.
+    EXPECT_EQ(freed.load(), 0);
+    EXPECT_EQ(d.limbo_nodes(), 1u);
+  }
+  h1.collect();
+  h1.collect();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EbrBuckets, SameResidueBagIsFreedWholeOnRotation) {
+  std::atomic<int> freed{0};
+  reclaim::Ebr<CountingNode> d;
+  auto h1 = d.make_handle();  // only retires, never collects
+  auto h2 = d.make_handle();  // only advances the epoch
+  auto* n0 = new CountingNode(&freed);
+  d.track(n0);
+  {
+    auto g = h1.guard();
+    h1.retire(n0);
+  }
+  // Advance the global epoch a full rotation without touching h1.
+  for (int i = 0; i < reclaim::Ebr<CountingNode>::kBags; ++i) h2.collect();
+  EXPECT_EQ(freed.load(), 0);  // h1's bag was never scanned
+
+  // h1's next retire lands on the same bucket residue; the stale bag
+  // (three epochs old, past the grace period) is freed whole first.
+  auto* n1 = new CountingNode(&freed);
+  d.track(n1);
+  {
+    auto g = h1.guard();
+    h1.retire(n1);
+  }
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(h1.limbo_size(), 1u);  // only n1 remains
+}
+
+TEST(EbrBuckets, FreesTrailRetirementsByExactlyTwoEpochs) {
+  std::atomic<int> freed{0};
+  reclaim::Ebr<CountingNode> d;
+  auto h = d.make_handle();
+  for (int k = 0; k < 6; ++k) {
+    auto* n = new CountingNode(&freed);
+    d.track(n);
+    {
+      auto g = h.guard();
+      h.retire(n);
+    }
+    h.collect();  // advances one epoch, then frees what is two behind
+    EXPECT_EQ(freed.load(), k) << "after retire+collect " << k;
+  }
+}
+
+TEST(EbrBuckets, DepartingHandlesLimboIsAdoptedBySurvivors) {
+  std::atomic<int> freed{0};
+  reclaim::Ebr<CountingNode> d;
+  auto survivor = d.make_handle();
+  {
+    auto h = d.make_handle();
+    auto* n = new CountingNode(&freed);
+    d.track(n);
+    {
+      auto g = h.guard();
+      h.retire(n);
+    }
+    // h departs with the node too young to free: it must land in the
+    // orphan pool, still counted as limbo.
+  }
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(d.limbo_nodes(), 1u);
+  for (int i = 0; i < 3; ++i) survivor.collect();
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(d.limbo_nodes(), 0u);
+}
+
+// --- HP slot re-lease ------------------------------------------------
+
+TEST(HpSlotReuse, DepartedCursorProtectionDoesNotLeakIntoNextLease) {
+  std::atomic<int> freed{0};
+  reclaim::Hp<CountingNode> d;
+  auto* n = new CountingNode(&freed);
+  d.track(n);
+  {
+    auto h1 = d.make_handle();
+    h1.protect(core::hazard::kCursor, n);  // persistent cursor cell
+    h1.retire(n);
+    h1.collect();
+    // Our own cursor cell protects the retiree: scan must keep it.
+    EXPECT_EQ(freed.load(), 0);
+    EXPECT_EQ(d.limbo_nodes(), 1u);
+    // h1 departs: survivors get the orphan, the cell is cleared.
+  }
+  auto h2 = d.make_handle();
+  h2.collect();  // adopts the orphan; no cell protects it any more
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(d.limbo_nodes(), 0u);
+}
+
+TEST(HpSlotReuse, HandleChurnBeyondSlotCountStaysBounded) {
+  std::atomic<int> freed{0};
+  reclaim::Hp<CountingNode> d;
+  // Far more arrivals than the 256-slot table: every departure must
+  // re-lease a slot and hand its garbage over, or this aborts/leaks.
+  constexpr int kCycles = 300;
+  for (int i = 0; i < kCycles; ++i) {
+    auto h = d.make_handle();
+    auto* n = new CountingNode(&freed);
+    d.track(n);
+    h.protect(0, n);
+    h.retire(n);
+  }
+  // Each departure's scan freed the previous orphans; at most the last
+  // handle's self-protected node is still in limbo.
+  EXPECT_GE(freed.load(), kCycles - 1);
+  EXPECT_LE(d.limbo_nodes(), 1u);
+  auto h = d.make_handle();
+  h.collect();
+  EXPECT_EQ(freed.load(), kCycles);
+  EXPECT_EQ(d.limbo_nodes(), 0u);
+}
+
+// --- DynamicTeam -----------------------------------------------------
+
+TEST(DynamicTeam, ResizeJoinsDeparturesAndNeverReusesIds) {
+  std::atomic<int> live{0};
+  std::mutex ids_mu;
+  std::vector<int> ids;
+  harness::DynamicTeam team(
+      [&](int id, const std::atomic<bool>& stop) {
+        {
+          std::lock_guard<std::mutex> lock(ids_mu);
+          ids.push_back(id);
+        }
+        live.fetch_add(1, std::memory_order_acq_rel);
+        while (!stop.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        live.fetch_sub(1, std::memory_order_acq_rel);
+      },
+      /*pin=*/false);
+
+  team.resize(3);
+  EXPECT_EQ(team.size(), 3);
+  EXPECT_EQ(team.arrivals(), 3);
+
+  team.resize(1);  // joins the two newest workers before returning
+  EXPECT_EQ(team.size(), 1);
+  // The survivor may still be starting up; only the departed two are
+  // guaranteed gone (their exit is joined), so live is 0 or 1.
+  EXPECT_LE(live.load(), 1);
+
+  team.resize(4);
+  EXPECT_EQ(team.size(), 4);
+  EXPECT_EQ(team.arrivals(), 6);  // departed ids are never reused
+
+  team.resize(0);
+  EXPECT_EQ(live.load(), 0);
+  {
+    std::lock_guard<std::mutex> lock(ids_mu);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  }
+}
+
+}  // namespace
+}  // namespace pragmalist
