@@ -1,4 +1,4 @@
-// Memory-reclamation cost comparison, two views:
+// Memory-reclamation cost comparison, three views:
 //
 //  1. The variant x reclaimer grid: each paper variant under the
 //     paper's arena (reclamation deferred to the end of the run) vs
@@ -10,13 +10,21 @@
 //     pays anchored revalidation per step under HP.
 //  2. Reference rows: the draconic Michael baselines on the same
 //     shared reclaim domains, plus the lock-based lazy list.
+//  3. (--shards N,N,...) The shard sweep: each selected variant x
+//     reclaimer behind a hash-sharded set at every requested shard
+//     count (shard count 1 is the plain single list). This is where
+//     single-list throughput ceilings fall -- and because all shards
+//     share one reclamation domain, the limbo column stays
+//     O(threads), not O(threads x shards). --dist zipf shows hot
+//     shards in the per-row shard-load line.
 //
-// Both views also report the peak node footprint (allocated minus
-// freed after the run): the arena's grows with every insert, the
-// reclaiming schemes' stays near the live set.
+// All views also report the node footprint (allocated minus freed
+// after the run): the arena's grows with every insert, the reclaiming
+// schemes' stays near the live set.
 //
 //   bench_reclaim [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
 //                 [--variants a,c,e | all] [--no-pin]
+//                 [--shards 1,4,16] [--dist uniform|zipf] [--theta T]
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -113,6 +121,53 @@ int main(int argc, char** argv) {
   harness::print_paper_table(std::cout, title.str(), ref_rows);
 
   csv_rows.insert(csv_rows.end(), ref_rows.begin(), ref_rows.end());
+
+  // --- view 3: shard sweep ------------------------------------------
+  const std::vector<long> shard_counts = opt.get_long_list("shards", {});
+  if (!shard_counts.empty()) {
+    harness::KeyDist dist = harness::KeyDist::uniform();
+    if (opt.get_string("dist", "uniform") == "zipf")
+      dist = harness::KeyDist::zipf(opt.get_double("theta", 0.99));
+    std::cout << "\nShard sweep, mix 25/25/50, p=" << p << ", c=" << c
+              << ", u=" << universe << ", dist="
+              << (dist.kind == harness::KeyDist::Kind::kZipf ? "zipf"
+                                                             : "uniform")
+              << " (one shared reclaim domain per set: limbo stays"
+              << " O(threads) at every shard count)\n\n";
+    std::cout << std::left << std::setw(26) << "variant" << std::right
+              << std::setw(6) << "sh" << std::setw(12) << "kops/s"
+              << std::setw(10) << "fp" << std::setw(10) << "limbo"
+              << "\n";
+    for (const auto v : variants) {
+      for (const auto r : {std::string_view("ebr"), std::string_view("hp")}) {
+        const std::string base = std::string(v) + "/" + std::string(r);
+        for (const long n : shard_counts) {
+          if (n < 1) continue;
+          const std::string id =
+              n == 1 ? base : base + "/sh" + std::to_string(n);
+          auto set = harness::make_set(id);
+          harness::RunResult res = harness::run_random_mix(
+              *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist);
+          bench::check_valid(*set);
+          std::cout << std::left << std::setw(26) << base << std::right
+                    << std::setw(6) << n << std::setw(12) << std::fixed
+                    << std::setprecision(0) << res.kops_per_sec()
+                    << std::setw(10) << set->allocated_nodes()
+                    << std::setw(10) << set->limbo_nodes() << "\n";
+          const std::string load = harness::shard_load_line(*set);
+          if (!load.empty()) std::cout << "      " << load << "\n";
+          // CSV label always carries the shard count (the n==1 leg
+          // runs the bare id but must not collide with view 1's row)
+          // and the key distribution when it is not the default.
+          std::string csv_label = base + "/sh" + std::to_string(n);
+          if (dist.kind == harness::KeyDist::Kind::kZipf)
+            csv_label += ":zipf";
+          csv_rows.push_back({std::move(csv_label), res});
+        }
+      }
+    }
+  }
+
   bench::emit_csv("bench_reclaim.csv", csv_rows);
   return 0;
 }

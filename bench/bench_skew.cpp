@@ -1,10 +1,16 @@
 // Beyond-paper skew ablation: the cursor exploits access locality, and
 // a zipfian key stream has plenty of it. Compares uniform vs zipf
 // (theta = 0.9 / 0.99) streams on the mild, cursor and doubly-cursor
-// variants. The paper only evaluates uniform keys; this bench answers
-// "do the cursor wins survive (or grow) under realistic skew?".
+// variants, plus their hash-sharded counterparts (--shards, default 8)
+// -- the zipf hot ranks map to fixed hot shards (shard::shard_of is a
+// pure function of the key), and the shard-load line under each
+// sharded row shows exactly how lopsided the partition ran. The paper
+// only evaluates uniform keys; this bench answers "do the cursor wins
+// survive (or grow) under realistic skew, and does sharding still pay
+// when the load is concentrated?".
 //
-//   bench_skew [--threads P] [--c OPS] [--u UNIVERSE] [--no-pin]
+//   bench_skew [--threads P] [--c OPS] [--u UNIVERSE] [--shards N]
+//              [--no-pin]
 #include <iostream>
 #include <sstream>
 
@@ -18,6 +24,7 @@ int main(int argc, char** argv) {
   const int p = bench::default_threads(opt, 16);
   const long c = opt.get_long("c", 6000);
   const long u = opt.get_long("u", 8192);
+  const long shards = opt.get_long("shards", 8);
   const bool pin = !opt.get_bool("no-pin");
 
   struct Dist {
@@ -32,19 +39,26 @@ int main(int argc, char** argv) {
 
   for (const auto& d : dists) {
     std::vector<harness::TableRow> rows;
-    for (const std::string_view id :
-         {std::string_view("singly"), std::string_view("singly_cursor"),
-          std::string_view("doubly_cursor")}) {
+    std::vector<std::string> shard_lines;
+    const std::string sh_suffix = "/sh" + std::to_string(shards);
+    for (std::string id :
+         {std::string("singly"), std::string("singly_cursor"),
+          std::string("doubly_cursor"), std::string("singly") + sh_suffix,
+          std::string("singly_cursor") + sh_suffix,
+          std::string("doubly_cursor") + sh_suffix}) {
       auto set = harness::make_set(id);
       auto r = harness::run_random_mix(*set, p, c, u / 2, u,
                                        workload::kTableMix, 42, pin, d.dist);
       bench::check_valid(*set);
-      rows.push_back({std::string(id), r});
+      rows.push_back({id, r});
+      const std::string load = harness::shard_load_line(*set);
+      if (!load.empty()) shard_lines.push_back(id + ": " + load);
     }
     std::ostringstream title;
     title << "Key skew: " << d.label << ", mix 10/10/80, p=" << p
           << ", c=" << c << ", U=" << u;
     harness::print_paper_table(std::cout, title.str(), rows);
+    for (const auto& line : shard_lines) std::cout << "  " << line << "\n";
     std::cout << "\n";
   }
   return 0;

@@ -12,10 +12,14 @@
 //              [--duration SECONDS-PER-ID] [--tick-ms MS]
 //              [--max-threads P] [--u UNIVERSE] [--prefill F]
 //              [--seed S] [--ids all|ID,ID,...] [--no-pin] [--series]
+//              [--shards N,N,...] [--zipf-theta T]
 //
 // Per id: one summary row (kops/s, arrivals, peak/end footprint,
-// peak/end limbo). The full time series of every run goes to
-// bench_soak.csv; --series also prints it.
+// peak/end limbo), plus a per-shard load line (op counts and max/min
+// imbalance) for sharded ids. --shards sweeps every id at each shard
+// count (1 = the plain list, N appends `/shN`); --zipf-theta draws
+// keys Zipf(theta) so the sweep shows hot shards. The full time
+// series of every run goes to bench_soak.csv; --series also prints it.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   cfg.prefill = opt.get_long("prefill", cfg.universe / 4);
   cfg.seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
   cfg.pin = !opt.get_bool("no-pin");
+  cfg.zipf_theta = opt.get_double("zipf-theta", 0.0);
   const bool series = opt.get_bool("series");
 
   // --ids: default is the whole reclaim grid (every <variant>/ebr|hp).
@@ -67,22 +72,33 @@ int main(int argc, char** argv) {
       ids.emplace_back(id);
   }
 
+  // --shards sweeps every id at each count: 1 leaves the id alone, any
+  // other count appends the catalog's /shN suffix.
+  std::vector<std::string> run_ids;
+  for (const long n : opt.get_long_list("shards", {1})) {
+    if (n < 1) continue;
+    for (const auto& id : ids)
+      run_ids.push_back(n == 1 ? id : id + "/sh" + std::to_string(n));
+  }
+
   std::cout << "Soak grid, schedule=" << soak_schedule_name(cfg.schedule)
             << ", " << duration_s << " s/id (" << cfg.ticks << " ticks x "
             << cfg.tick_ms << " ms), max p=" << cfg.max_threads
-            << ", u=" << cfg.universe << ", mix 25/25/50\n"
-            << "(fp = allocated-not-freed nodes, limbo = retired-not-freed;"
+            << ", u=" << cfg.universe << ", mix 25/25/50";
+  if (cfg.zipf_theta > 0.0)
+    std::cout << ", keys zipf(" << cfg.zipf_theta << ")";
+  std::cout << "\n(fp = allocated-not-freed nodes, limbo = retired-not-freed;"
             << " peak over the series / value at the end)\n\n";
-  std::cout << std::left << std::setw(22) << "variant" << std::right
+  std::cout << std::left << std::setw(26) << "variant" << std::right
             << std::setw(10) << "kops/s" << std::setw(10) << "arrivals"
             << std::setw(14) << "fp peak/end" << std::setw(16)
             << "limbo peak/end" << "\n";
 
   std::ofstream csv("bench_soak.csv");
   if (csv)
-    csv << "id,schedule,tick,t_ms,threads,ops,footprint,limbo\n";
+    csv << "id,schedule,shards,tick,t_ms,threads,ops,footprint,limbo\n";
 
-  for (const auto& id : ids) {
+  for (const auto& id : run_ids) {
     auto set = harness::make_set(id);
     const auto r = service::run_soak(*set, cfg);
 
@@ -96,18 +112,21 @@ int main(int argc, char** argv) {
     std::ostringstream fp, limbo;
     fp << r.peak_footprint() << "/" << set->allocated_nodes();
     limbo << r.peak_limbo() << "/" << set->limbo_nodes();
-    std::cout << std::left << std::setw(22) << id << std::right
+    std::cout << std::left << std::setw(26) << id << std::right
               << std::setw(10) << std::fixed << std::setprecision(0)
               << r.kops_per_sec() << std::setw(10) << r.arrivals
               << std::setw(14) << fp.str() << std::setw(15) << limbo.str()
               << "\n";
+    const std::string load = harness::shard_load_line(*set);
+    if (!load.empty()) std::cout << "    " << load << "\n";
     if (series) print_series(r);
 
     if (csv)
       for (const auto& s : r.series)
         csv << id << "," << soak_schedule_name(cfg.schedule) << ","
-            << s.tick << "," << s.t_ms << "," << s.threads << "," << s.ops
-            << "," << s.footprint << "," << s.limbo << "\n";
+            << set->shard_count() << "," << s.tick << "," << s.t_ms << ","
+            << s.threads << "," << s.ops << "," << s.footprint << ","
+            << s.limbo << "\n";
   }
   if (csv) std::cout << "\ncsv: bench_soak.csv\n";
   return 0;

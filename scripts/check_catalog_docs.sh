@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
 # Fail if a catalog id registered in src/harness/catalog.cpp is not
-# documented in docs/CATALOG.md (as a backticked `id`). Run by the CI
-# docs job; runnable locally from anywhere in the repo.
+# documented in docs/CATALOG.md (as a backticked `id`). Covers both the
+# static kEntries ids and the shardable bases of kShardedEntries: every
+# shardable base must be documented with its `/shN`-suffixed form
+# (e.g. `singly/ebr/shN`). Run by the CI docs job; runnable locally
+# from anywhere in the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ids=$(grep -oE '^\s*\{"[a-z_/]+"' src/harness/catalog.cpp |
-      sed -E 's/.*\{"([a-z_/]+)".*/\1/')
+# Static ids: scan only the kEntries array so a clang-format wrap after
+# the id string can never silently drop an id from enforcement.
+ids=$(sed -n '/kEntries\[\]/,/^};/p' src/harness/catalog.cpp |
+      grep -oE '\{"[a-z0-9_/]+"' |
+      sed -E 's/\{"([a-z0-9_/]+)"/\1/')
 test -n "$ids" || { echo "no catalog ids parsed from catalog.cpp"; exit 1; }
+
+# Shardable bases: scan only the kShardedEntries array (its entries are
+# {"base", &make_...}, possibly wrapped after the base by clang-format)
+# so a wrapped kEntries line can never be misread as a base.
+bases=$(sed -n '/kShardedEntries\[\]/,/^};/p' src/harness/catalog.cpp |
+        grep -oE '\{"[a-z0-9_/]+"' |
+        sed -E 's/\{"([a-z0-9_/]+)"/\1/')
+test -n "$bases" || { echo "no shardable bases parsed from catalog.cpp"; exit 1; }
 
 missing=0
 for id in $ids; do
@@ -16,7 +30,13 @@ for id in $ids; do
     missing=1
   fi
 done
+for base in $bases; do
+  if ! grep -qF "\`$base/shN\`" docs/CATALOG.md; then
+    echo "shardable base '$base' is registered in catalog.cpp but '\`$base/shN\`' is missing from docs/CATALOG.md"
+    missing=1
+  fi
+done
 if [ "$missing" -eq 0 ]; then
-  echo "docs/CATALOG.md covers all $(echo "$ids" | wc -l) catalog ids"
+  echo "docs/CATALOG.md covers all $(echo "$ids" | wc -l) catalog ids and $(echo "$bases" | wc -l) shardable bases"
 fi
 exit "$missing"

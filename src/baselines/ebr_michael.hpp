@@ -9,6 +9,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/ebr.hpp"
+#include "src/reclaim/maybe_owned.hpp"
 
 namespace pragmalist::baselines {
 
@@ -31,43 +33,56 @@ class EbrMichaelList {
   using Domain = reclaim::Ebr<Node>;
 
  public:
+  /// Shared-domain aliases, same shape as the paper-variant engines, so
+  /// shard::ShardedSet can run N Michael lists against one epoch clock.
+  using Reclaim = Domain;
+  using ReclaimHandle = Domain::Handle;
+
   class Handle {
    public:
     bool add(long key) {
       ++ctr_.add_calls;
-      auto pin = rh_.guard();
+      auto pin = rh_->guard();
       const bool ok = list_->do_add(*this, key);
       ctr_.adds += ok;
       return ok;
     }
     bool remove(long key) {
       ++ctr_.rem_calls;
-      auto pin = rh_.guard();
+      auto pin = rh_->guard();
       const bool ok = list_->do_remove(*this, key);
       ctr_.rems += ok;
       return ok;
     }
     bool contains(long key) {
       ++ctr_.con_calls;
-      auto pin = rh_.guard();
+      auto pin = rh_->guard();
       const bool ok = list_->do_contains(key);
       ctr_.cons += ok;
       return ok;
     }
     const core::OpCounters& counters() const { return ctr_; }
 
+    Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
    private:
     friend class EbrMichaelList;
-    Handle(EbrMichaelList* list, Domain::Handle rh)
+    Handle(EbrMichaelList* list, Domain::Handle rh)  // owning
         : list_(list), rh_(std::move(rh)) {}
+    Handle(EbrMichaelList* list, Domain::Handle* rh)  // borrowing
+        : list_(list), rh_(rh) {}
 
     EbrMichaelList* list_;
-    Domain::Handle rh_;
+    reclaim::MaybeOwned<Domain::Handle> rh_;
     core::OpCounters ctr_;
   };
 
-  EbrMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {
-    domain_.track(head_);
+  explicit EbrMichaelList(std::shared_ptr<Domain> domain = nullptr)
+      : domain_(domain ? std::move(domain) : std::make_shared<Domain>()),
+        head_(new Node(std::numeric_limits<long>::min())) {
+    domain_->track(head_);
   }
   EbrMichaelList(const EbrMichaelList&) = delete;
   EbrMichaelList& operator=(const EbrMichaelList&) = delete;
@@ -81,18 +96,22 @@ class EbrMichaelList {
     }
   }
 
-  Handle make_handle() { return Handle(this, domain_.make_handle()); }
+  Handle make_handle() { return Handle(this, domain_->make_handle()); }
+
+  /// Sharded use: borrow a per-thread reclaim handle leased from this
+  /// list's (shared) domain.
+  Handle make_handle(ReclaimHandle& shared) { return Handle(this, &shared); }
 
   bool validate(std::string* err) const {
-    return core::quiescent::validate_chain(head_, domain_.live_nodes() + 1,
+    return core::quiescent::validate_chain(head_, domain_->live_nodes() + 1,
                                            err);
   }
   std::size_t size() const { return core::quiescent::size(head_); }
   std::vector<long> snapshot() const {
     return core::quiescent::snapshot(head_);
   }
-  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
-  std::size_t limbo_nodes() const { return domain_.limbo_nodes(); }
+  std::size_t allocated_nodes() const { return domain_->live_nodes(); }
+  std::size_t limbo_nodes() const { return domain_->limbo_nodes(); }
 
  private:
   struct Pos {
@@ -112,7 +131,7 @@ class EbrMichaelList {
       const auto nv = cur->next.load();
       if (nv.marked) {
         if (!prev->cas_clean(cur, nv.ptr)) goto try_again;
-        h.rh_.retire(cur);
+        h.rh_->retire(cur);
         cur = nv.ptr;
         continue;
       }
@@ -135,7 +154,7 @@ class EbrMichaelList {
       else
         node->next.store(p.cur);
       if (p.prev->cas_clean(p.cur, node)) {
-        domain_.track(node);
+        domain_->track(node);
         return true;
       }
     }
@@ -147,7 +166,7 @@ class EbrMichaelList {
       if (p.cur == nullptr || p.cur->key != key) return false;
       if (!p.cur->next.cas_mark(p.succ)) continue;
       if (p.prev->cas_clean(p.cur, p.succ))
-        h.rh_.retire(p.cur);
+        h.rh_->retire(p.cur);
       else
         find(h, key);
       return true;
@@ -168,7 +187,7 @@ class EbrMichaelList {
     return cur != nullptr && cur->key == key;
   }
 
-  Domain domain_;
+  std::shared_ptr<Domain> domain_;
   Node* head_;
 };
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/hp.hpp"
+#include "src/reclaim/maybe_owned.hpp"
 
 namespace pragmalist::baselines {
 
@@ -36,6 +38,11 @@ class HpMichaelList {
   using Domain = reclaim::Hp<Node>;
 
  public:
+  /// Shared-domain aliases, same shape as the paper-variant engines, so
+  /// shard::ShardedSet can run N Michael lists against one slot table.
+  using Reclaim = Domain;
+  using ReclaimHandle = Domain::Handle;
+
   class Handle {
    public:
     bool add(long key) {
@@ -58,18 +65,26 @@ class HpMichaelList {
     }
     const core::OpCounters& counters() const { return ctr_; }
 
+    Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
    private:
     friend class HpMichaelList;
-    Handle(HpMichaelList* list, Domain::Handle rh)
+    Handle(HpMichaelList* list, Domain::Handle rh)  // owning
         : list_(list), rh_(std::move(rh)) {}
+    Handle(HpMichaelList* list, Domain::Handle* rh)  // borrowing
+        : list_(list), rh_(rh) {}
 
     HpMichaelList* list_;
-    Domain::Handle rh_;
+    reclaim::MaybeOwned<Domain::Handle> rh_;
     core::OpCounters ctr_;
   };
 
-  HpMichaelList() : head_(new Node(std::numeric_limits<long>::min())) {
-    domain_.track(head_);
+  explicit HpMichaelList(std::shared_ptr<Domain> domain = nullptr)
+      : domain_(domain ? std::move(domain) : std::make_shared<Domain>()),
+        head_(new Node(std::numeric_limits<long>::min())) {
+    domain_->track(head_);
   }
   HpMichaelList(const HpMichaelList&) = delete;
   HpMichaelList& operator=(const HpMichaelList&) = delete;
@@ -85,18 +100,22 @@ class HpMichaelList {
     }
   }
 
-  Handle make_handle() { return Handle(this, domain_.make_handle()); }
+  Handle make_handle() { return Handle(this, domain_->make_handle()); }
+
+  /// Sharded use: borrow a per-thread reclaim handle leased from this
+  /// list's (shared) domain.
+  Handle make_handle(ReclaimHandle& shared) { return Handle(this, &shared); }
 
   bool validate(std::string* err) const {
-    return core::quiescent::validate_chain(head_, domain_.live_nodes() + 1,
+    return core::quiescent::validate_chain(head_, domain_->live_nodes() + 1,
                                            err);
   }
   std::size_t size() const { return core::quiescent::size(head_); }
   std::vector<long> snapshot() const {
     return core::quiescent::snapshot(head_);
   }
-  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
-  std::size_t limbo_nodes() const { return domain_.limbo_nodes(); }
+  std::size_t allocated_nodes() const { return domain_->live_nodes(); }
+  std::size_t limbo_nodes() const { return domain_->limbo_nodes(); }
 
  private:
   struct Pos {
@@ -109,7 +128,7 @@ class HpMichaelList {
   /// (or nullptr), *prev observed == cur, and hazards covering
   /// pred/cur/succ.
   Pos find(Handle& h, long key) {
-    auto& rh = h.rh_;
+    auto& rh = *h.rh_;
   try_again:
     core::MarkPtr<Node>* prev = &head_->next;
     rh.clear(2);  // pred is the head
@@ -127,7 +146,7 @@ class HpMichaelList {
       if (nv2.ptr != nv.ptr || nv2.marked != nv.marked) goto try_again;
       if (nv.marked) {
         if (!prev->cas_clean(cur, nv.ptr)) goto try_again;
-        h.rh_.retire(cur);
+        h.rh_->retire(cur);
         cur = nv.ptr;  // still protected by slot 1; re-pinned at loop top
         continue;
       }
@@ -151,7 +170,7 @@ class HpMichaelList {
       else
         node->next.store(p.cur);
       if (p.prev->cas_clean(p.cur, node)) {
-        domain_.track(node);
+        domain_->track(node);
         return true;
       }
     }
@@ -163,7 +182,7 @@ class HpMichaelList {
       if (p.cur == nullptr || p.cur->key != key) return false;
       if (!p.cur->next.cas_mark(p.succ)) continue;  // raced; re-find
       if (p.prev->cas_clean(p.cur, p.succ))
-        h.rh_.retire(p.cur);
+        h.rh_->retire(p.cur);
       else
         find(h, key);  // help: the next find sweeps and retires it
       return true;
@@ -175,7 +194,7 @@ class HpMichaelList {
     return p.cur != nullptr && p.cur->key == key;
   }
 
-  Domain domain_;
+  std::shared_ptr<Domain> domain_;
   Node* head_;
 };
 

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -35,6 +36,7 @@
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/arena.hpp"
+#include "src/reclaim/maybe_owned.hpp"
 
 namespace pragmalist::core {
 
@@ -50,9 +52,14 @@ class DoublyFamilyList {
     Node(long k, Node* succ, Node* pred) : key(k), next(succ), back(pred) {}
   };
 
+ public:
+  /// The reclamation *domain* this engine runs against. Stand-alone
+  /// lists make their own; a sharded set makes one and hands it to
+  /// every shard, so N shards cost one epoch clock / slot table.
   using Reclaim = ReclaimPolicy<Node>;
   using ReclaimHandle = typename Reclaim::Handle;
 
+ private:
   static constexpr bool kHazards = Reclaim::kHazards;
   static constexpr bool kStable = Reclaim::kStableAddresses;
   static constexpr bool kCursorOn =
@@ -81,19 +88,29 @@ class DoublyFamilyList {
     }
     const OpCounters& counters() const { return ctr_; }
 
+    Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
    private:
     friend class DoublyFamilyList;
-    Handle(DoublyFamilyList* list, ReclaimHandle rh)
+    Handle(DoublyFamilyList* list, ReclaimHandle rh)  // owning
         : list_(list), rh_(std::move(rh)) {}
+    Handle(DoublyFamilyList* list, ReclaimHandle* rh)  // borrowing
+        : list_(list), rh_(rh) {}
 
     DoublyFamilyList* list_;
-    ReclaimHandle rh_;
+    // Stand-alone handles own their reclaim handle; shard handles
+    // borrow the one their worker leased for the whole sharded set.
+    reclaim::MaybeOwned<ReclaimHandle> rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
   };
 
-  DoublyFamilyList() : head_(new Node(kSentinelKey, nullptr, nullptr)) {
-    domain_.track(head_);
+  explicit DoublyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
+      : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
+        head_(new Node(kSentinelKey, nullptr, nullptr)) {
+    domain_->track(head_);
   }
   DoublyFamilyList(const DoublyFamilyList&) = delete;
   DoublyFamilyList& operator=(const DoublyFamilyList&) = delete;
@@ -109,12 +126,18 @@ class DoublyFamilyList {
     }
   }
 
-  Handle make_handle() { return Handle(this, domain_.make_handle()); }
+  /// Stand-alone use: lease a fresh per-thread handle from the domain.
+  Handle make_handle() { return Handle(this, domain_->make_handle()); }
+
+  /// Sharded use: borrow a per-thread reclaim handle the caller leased
+  /// from this engine's (shared) domain. `shared` must outlive the
+  /// returned handle.
+  Handle make_handle(ReclaimHandle& shared) { return Handle(this, &shared); }
 
   // --- quiescent API ------------------------------------------------
 
   bool validate(std::string* err) const {
-    if (!quiescent::validate_chain(head_, domain_.live_nodes() + 1, err))
+    if (!quiescent::validate_chain(head_, domain_->live_nodes() + 1, err))
       return false;
     if constexpr (kStable) {
       // Back-pointer sanity: every linked node's hint has a strictly
@@ -139,13 +162,13 @@ class DoublyFamilyList {
   std::size_t size() const { return quiescent::size(head_); }
   std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
 
-  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
+  std::size_t allocated_nodes() const { return domain_->live_nodes(); }
 
   /// Retired-and-not-yet-freed count (0 under the arena); the soak
   /// harness samples it as the limbo-depth series.
   std::size_t limbo_nodes() const {
     if constexpr (Reclaim::kReclaims)
-      return domain_.limbo_nodes();
+      return domain_->limbo_nodes();
     else
       return 0;
   }
@@ -184,15 +207,28 @@ class DoublyFamilyList {
     }
   }
 
+  /// Forget the handle's cursor hint, releasing the persistent hazard
+  /// cell only if this engine still owns it (core::hazard's
+  /// owner-tagged cursor protocol; under a sharded set the cell may
+  /// meanwhile guard another shard's cursor).
+  void drop_cursor(Handle& h) {
+    h.cursor_ = nullptr;
+    if constexpr (kHazards) hazard::release_cursor(*h.rh_, this);
+  }
+
   Node* start_node(Handle& h, long key) {
     if constexpr (kCursorOn) {
+      if constexpr (kHazards) {
+        // Another shard took the cell since our last op: our node is
+        // unprotected and must not be dereferenced.
+        if (!hazard::owns_cursor(*h.rh_, this)) h.cursor_ = nullptr;
+      }
       Node* c = h.cursor_;
       if (c != nullptr && c->key < key) {
         c = recover(c);  // dead cursor: hop back instead of head restart
         if (c == head_ || c->key < key) return c;
       }
-      h.cursor_ = nullptr;
-      if constexpr (kHazards) h.rh_.clear(hazard::kCursor);
+      drop_cursor(h);
     }
     return head_;
   }
@@ -200,12 +236,7 @@ class DoublyFamilyList {
   void update_cursor(Handle& h, Node* n) {
     if constexpr (kCursorOn) {
       if (n == head_) n = nullptr;
-      if constexpr (kHazards) {
-        if (n == nullptr)
-          h.rh_.clear(hazard::kCursor);
-        else
-          h.rh_.protect(hazard::kCursor, n);
-      }
+      if constexpr (kHazards) hazard::publish_cursor(*h.rh_, this, n);
       h.cursor_ = n;
     }
   }
@@ -215,7 +246,7 @@ class DoublyFamilyList {
       Node* n = first;
       while (n != last) {
         Node* next = n->next.load().ptr;
-        h.rh_.retire(n);
+        h.rh_->retire(n);
         n = next;
       }
     }
@@ -269,11 +300,8 @@ class DoublyFamilyList {
   Pos search_hazard(Handle& h, long key) {
     const auto w =
         hazard::anchored_walk<Traversal::kMild, Backoff::kNone, true, Node>(
-            h.rh_, key, [&] { return start_node(h, key); },
-            [&] {
-              h.cursor_ = nullptr;
-              h.rh_.clear(hazard::kCursor);
-            },
+            *h.rh_, key, [&] { return start_node(h, key); },
+            [&] { drop_cursor(h); },
             [&](Node* prev, Node* first, Node* last) {
               if constexpr (kPreciseBack) {
                 // last is walk-slot protected: retire cannot free it
@@ -287,7 +315,7 @@ class DoublyFamilyList {
   }
 
   bool do_add(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     Node* node = nullptr;
     for (;;) {
       const Pos p = search(h, key);
@@ -303,7 +331,7 @@ class DoublyFamilyList {
         node->back.store(p.prev, std::memory_order_relaxed);
       }
       if (p.prev->next.cas_clean(p.cur, node)) {
-        domain_.track(node);
+        domain_->track(node);
         if constexpr (kPreciseBack) {
           // p.cur is still covered (arena/EBR: stable or pinned;
           // HP: walk slot), so the refresh write cannot hit freed
@@ -321,7 +349,7 @@ class DoublyFamilyList {
   }
 
   bool do_remove(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     const Pos p = search(h, key);
     if (p.cur == nullptr || p.cur->key != key) {
       update_cursor(h, p.prev);
@@ -345,20 +373,20 @@ class DoublyFamilyList {
       // searches): if the CAS below succeeds, succ was still attached
       // when the hazard was already visible, so the precise-back
       // refresh may dereference it.
-      if (succ != nullptr) h.rh_.protect(hazard::kRun, succ);
+      if (succ != nullptr) h.rh_->protect(hazard::kRun, succ);
     }
     if (p.prev->next.cas_clean(p.cur, succ)) {
       if constexpr (kPreciseBack) {
         if (succ != nullptr)
           succ->back.store(p.prev, std::memory_order_release);
       }
-      if constexpr (Reclaim::kReclaims) h.rh_.retire(p.cur);
+      if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
     }
     return true;
   }
 
   bool do_contains(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     if constexpr (kHazards) {
       return contains_hazard(h, key);
     } else {
@@ -382,17 +410,13 @@ class DoublyFamilyList {
   bool contains_hazard(Handle& h, long key) {
     const auto w =
         hazard::anchored_walk<Traversal::kMild, Backoff::kNone, false, Node>(
-            h.rh_, key, [&] { return start_node(h, key); },
-            [&] {
-              h.cursor_ = nullptr;
-              h.rh_.clear(hazard::kCursor);
-            },
-            [](Node*, Node*, Node*) {});
+            *h.rh_, key, [&] { return start_node(h, key); },
+            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {});
     update_cursor(h, w.prev);
     return w.cur != nullptr && w.cur->key == key;
   }
 
-  Reclaim domain_;
+  std::shared_ptr<Reclaim> domain_;
   Node* head_;
 };
 

@@ -79,6 +79,18 @@ class ISet {
   /// soak tests assert it stays bounded.
   virtual std::size_t limbo_nodes() const { return 0; }
 
+  /// Hash shards behind this set (1 for every unsharded structure).
+  virtual int shard_count() const { return 1; }
+
+  /// Operations routed to each shard (attempts, all op kinds) --
+  /// quiescent-only, like validate(). Empty when unsharded; the
+  /// shard-load reports in bench_reclaim/bench_soak use it to show how
+  /// a skewed key stream loads the partition.
+  virtual std::vector<long> shard_ops() const { return {}; }
+
+  /// Live keys per shard (quiescent-only; empty when unsharded).
+  virtual std::vector<std::size_t> shard_sizes() const { return {}; }
+
   virtual std::string_view name() const = 0;
 };
 

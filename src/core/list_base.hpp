@@ -191,6 +191,44 @@ inline constexpr int kRun = 2;     // current dead run's head; reused as
                                    // the doubly family's succ pin
 inline constexpr int kCursor = 3;  // per-handle cursor, held across ops
 
+// The persistent kCursor cell is a per-*thread* resource: under a
+// sharded set many list engines borrow one reclaim handle, so the cell
+// carries an owner tag (reclaim::Hp::Handle::cursor_owner) naming the
+// engine whose cursor it currently protects. These three helpers are
+// the whole protocol -- both list families use them verbatim, so the
+// rules live once:
+//   * only the owner may clear the cell (another engine's cursor may
+//     be parked there);
+//   * publishing stamps the caller as owner;
+//   * an engine that is not the owner must treat its remembered cursor
+//     node as unprotected and never dereference it.
+
+/// True when `owner` (an engine) still holds the kCursor cell.
+template <typename ReclaimHandle>
+bool owns_cursor(const ReclaimHandle& rh, const void* owner) {
+  return rh.cursor_owner == owner;
+}
+
+/// Clear the cell iff `owner` holds it.
+template <typename ReclaimHandle>
+void release_cursor(ReclaimHandle& rh, const void* owner) {
+  if (rh.cursor_owner == owner) {
+    rh.clear(kCursor);
+    rh.cursor_owner = nullptr;
+  }
+}
+
+/// Protect `n` in the cell and stamp `owner`; nullptr releases instead.
+template <typename ReclaimHandle, typename Node>
+void publish_cursor(ReclaimHandle& rh, const void* owner, Node* n) {
+  if (n == nullptr) {
+    release_cursor(rh, owner);
+  } else {
+    rh.protect(kCursor, n);
+    rh.cursor_owner = owner;
+  }
+}
+
 template <typename Node>
 struct WalkPos {
   Node* prev;  // protected via kAnchor, prev->next observed == cur

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -45,6 +46,7 @@
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/arena.hpp"
+#include "src/reclaim/maybe_owned.hpp"
 
 namespace pragmalist::core {
 
@@ -60,9 +62,14 @@ class SinglyFamilyList {
     explicit Node(long k, Node* succ = nullptr) : key(k), next(succ) {}
   };
 
+ public:
+  /// The reclamation *domain* this engine runs against. Stand-alone
+  /// lists make their own; a sharded set makes one and hands it to
+  /// every shard, so N shards cost one epoch clock / slot table.
   using Reclaim = ReclaimPolicy<Node>;
   using ReclaimHandle = typename Reclaim::Handle;
 
+ private:
   static constexpr bool kHazards = Reclaim::kHazards;
   // Cursors hold a node pointer across operations, which needs
   // addresses that stay dereferenceable between ops: stable (arena)
@@ -95,19 +102,29 @@ class SinglyFamilyList {
     }
     const OpCounters& counters() const { return ctr_; }
 
+    Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
    private:
     friend class SinglyFamilyList;
-    Handle(SinglyFamilyList* list, ReclaimHandle rh)
+    Handle(SinglyFamilyList* list, ReclaimHandle rh)  // owning
         : list_(list), rh_(std::move(rh)) {}
+    Handle(SinglyFamilyList* list, ReclaimHandle* rh)  // borrowing
+        : list_(list), rh_(rh) {}
 
     SinglyFamilyList* list_;
-    ReclaimHandle rh_;
+    // Stand-alone handles own their reclaim handle; shard handles
+    // borrow the one their worker leased for the whole sharded set.
+    reclaim::MaybeOwned<ReclaimHandle> rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
   };
 
-  SinglyFamilyList() : head_(new Node(kSentinelKey)) {
-    domain_.track(head_);
+  explicit SinglyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
+      : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
+        head_(new Node(kSentinelKey)) {
+    domain_->track(head_);
   }
   SinglyFamilyList(const SinglyFamilyList&) = delete;
   SinglyFamilyList& operator=(const SinglyFamilyList&) = delete;
@@ -126,25 +143,33 @@ class SinglyFamilyList {
     }
   }
 
-  Handle make_handle() { return Handle(this, domain_.make_handle()); }
+  /// Stand-alone use: lease a fresh per-thread handle from the domain.
+  Handle make_handle() { return Handle(this, domain_->make_handle()); }
+
+  /// Sharded use: borrow a per-thread reclaim handle the caller leased
+  /// from this engine's (shared) domain. `shared` must outlive the
+  /// returned handle.
+  Handle make_handle(ReclaimHandle& shared) { return Handle(this, &shared); }
 
   // --- quiescent API ------------------------------------------------
 
   bool validate(std::string* err) const {
-    return quiescent::validate_chain(head_, domain_.live_nodes() + 1, err);
+    return quiescent::validate_chain(head_, domain_->live_nodes() + 1, err);
   }
   std::size_t size() const { return quiescent::size(head_); }
   std::vector<long> snapshot() const { return quiescent::snapshot(head_); }
 
   /// Published-and-not-yet-freed node count; the churn tests bound it
   /// under the reclaiming policies and watch it grow under the arena.
-  std::size_t allocated_nodes() const { return domain_.live_nodes(); }
+  /// Counts the whole *domain* -- all shards, when the domain is
+  /// shared -- which is exactly what the footprint bounds want.
+  std::size_t allocated_nodes() const { return domain_->live_nodes(); }
 
   /// Retired-and-not-yet-freed count (0 under the arena); the soak
   /// harness samples it as the limbo-depth series.
   std::size_t limbo_nodes() const {
     if constexpr (Reclaim::kReclaims)
-      return domain_.limbo_nodes();
+      return domain_->limbo_nodes();
     else
       return 0;
   }
@@ -169,8 +194,22 @@ class SinglyFamilyList {
     Node* cur;   // first live node with key >= target, or nullptr
   };
 
+  /// Forget the handle's cursor hint, releasing the persistent hazard
+  /// cell only if this engine still owns it (core::hazard's
+  /// owner-tagged cursor protocol; under a sharded set the cell may
+  /// meanwhile guard another shard's cursor).
+  void drop_cursor(Handle& h) {
+    h.cursor_ = nullptr;
+    if constexpr (kHazards) hazard::release_cursor(*h.rh_, this);
+  }
+
   Node* start_node(Handle& h, long key) {
     if constexpr (kCursorOn) {
+      if constexpr (kHazards) {
+        // Another shard took the cell since our last op: our node is
+        // unprotected and must not be dereferenced.
+        if (!hazard::owns_cursor(*h.rh_, this)) h.cursor_ = nullptr;
+      }
       Node* c = h.cursor_;
       if (c != nullptr && c->key < key && !c->next.load().marked) {
         // Unmarked implies still physically linked (nodes are only ever
@@ -178,8 +217,7 @@ class SinglyFamilyList {
         // place to begin. Under HP the cursor slot keeps c allocated.
         return c;
       }
-      h.cursor_ = nullptr;
-      if constexpr (kHazards) h.rh_.clear(hazard::kCursor);
+      drop_cursor(h);
     }
     return head_;
   }
@@ -191,12 +229,7 @@ class SinglyFamilyList {
   void update_cursor(Handle& h, Node* n) {
     if constexpr (kCursorOn) {
       if (n == head_) n = nullptr;
-      if constexpr (kHazards) {
-        if (n == nullptr)
-          h.rh_.clear(hazard::kCursor);
-        else
-          h.rh_.protect(hazard::kCursor, n);
-      }
+      if constexpr (kHazards) hazard::publish_cursor(*h.rh_, this, n);
       h.cursor_ = n;
     }
   }
@@ -209,7 +242,7 @@ class SinglyFamilyList {
       Node* n = first;
       while (n != last) {
         Node* next = n->next.load().ptr;  // read before retire: a scan
-        h.rh_.retire(n);                  // may free n immediately
+        h.rh_->retire(n);                  // may free n immediately
         n = next;
       }
     }
@@ -245,7 +278,7 @@ class SinglyFamilyList {
           if constexpr (kTraversal == Traversal::kDraconic) {
             // Never step over a dead node: unlink it now or start over.
             if (prev->next.cas_clean(cur, cv.ptr)) {
-              if constexpr (Reclaim::kReclaims) h.rh_.retire(cur);
+              if constexpr (Reclaim::kReclaims) h.rh_->retire(cur);
               left_next = cv.ptr;
               cur = cv.ptr;
               continue;
@@ -281,17 +314,14 @@ class SinglyFamilyList {
   /// walk slot; the caller may dereference both until its next search.
   Pos search_hazard(Handle& h, long key) {
     const auto w = hazard::anchored_walk<kTraversal, kBackoff, true, Node>(
-        h.rh_, key, [&] { return start_node(h, key); },
-        [&] {
-          h.cursor_ = nullptr;
-          h.rh_.clear(hazard::kCursor);
-        },
+        *h.rh_, key, [&] { return start_node(h, key); },
+        [&] { drop_cursor(h); },
         [&](Node*, Node* first, Node* last) { retire_run(h, first, last); });
     return {w.prev, w.cur};
   }
 
   bool do_add(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     Backoffer bo;
     Node* node = nullptr;
     for (;;) {
@@ -306,7 +336,7 @@ class SinglyFamilyList {
       else
         node->next.store(p.cur);
       if (p.prev->next.cas_clean(p.cur, node)) {
-        domain_.track(node);
+        domain_->track(node);
         if constexpr (kHazards)
           update_cursor(h, p.prev);  // p.prev is anchor-protected; the
         else                         // fresh node is not in any slot
@@ -318,7 +348,7 @@ class SinglyFamilyList {
   }
 
   bool do_remove(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     const Pos p = search(h, key);
     if (p.cur == nullptr || p.cur->key != key) {
       update_cursor(h, p.prev);
@@ -347,7 +377,7 @@ class SinglyFamilyList {
     // search will sweep it), mandatory help in the draconic one. A
     // successful CAS detached exactly p.cur, so we own its retirement.
     if (p.prev->next.cas_clean(p.cur, succ)) {
-      if constexpr (Reclaim::kReclaims) h.rh_.retire(p.cur);
+      if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
     } else {
       if constexpr (kTraversal == Traversal::kDraconic) search(h, key);
     }
@@ -355,7 +385,7 @@ class SinglyFamilyList {
   }
 
   bool do_contains(Handle& h, long key) {
-    [[maybe_unused]] auto guard = h.rh_.guard();
+    [[maybe_unused]] auto guard = h.rh_->guard();
     if constexpr (kTraversal == Traversal::kDraconic) {
       // Draconic readers help clean up (and pay the restarts for it).
       const Pos p = search(h, key);
@@ -385,17 +415,13 @@ class SinglyFamilyList {
   bool contains_hazard(Handle& h, long key) {
     const auto w =
         hazard::anchored_walk<Traversal::kMild, kBackoff, false, Node>(
-            h.rh_, key, [&] { return start_node(h, key); },
-            [&] {
-              h.cursor_ = nullptr;
-              h.rh_.clear(hazard::kCursor);
-            },
-            [](Node*, Node*, Node*) {});
+            *h.rh_, key, [&] { return start_node(h, key); },
+            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {});
     update_cursor(h, w.prev);
     return w.cur != nullptr && w.cur->key == key;
   }
 
-  Reclaim domain_;
+  std::shared_ptr<Reclaim> domain_;
   Node* head_;
 };
 

@@ -10,6 +10,7 @@
 #include "src/baselines/locked_lists.hpp"
 #include "src/common/debug.hpp"
 #include "src/core/variants.hpp"
+#include "src/shard/sharded_set.hpp"
 #include "src/structures/skiplist.hpp"
 
 namespace pragmalist::harness {
@@ -29,8 +30,17 @@ struct HasLimboNodes<
     T, std::void_t<decltype(std::declval<const T&>().limbo_nodes())>>
     : std::true_type {};
 
+template <typename T, typename = void>
+struct HasShardCount : std::false_type {};
+template <typename T>
+struct HasShardCount<
+    T, std::void_t<decltype(std::declval<const T&>().shard_count())>>
+    : std::true_type {};
+
 /// Adapts any concrete structure with the
 /// make_handle()/validate()/size()/snapshot() shape to core::ISet.
+/// Owns its id as a string: sharded ids (`.../shN`) are composed at
+/// parse time and have no static storage to point into.
 template <typename Structure>
 class SetAdapter final : public core::ISet {
   class HandleAdapter final : public core::ISetHandle {
@@ -47,7 +57,9 @@ class SetAdapter final : public core::ISet {
   };
 
  public:
-  explicit SetAdapter(std::string_view id) : id_(id) {}
+  template <typename... Args>
+  explicit SetAdapter(std::string id, Args&&... args)
+      : id_(std::move(id)), inner_(std::forward<Args>(args)...) {}
 
   std::unique_ptr<core::ISetHandle> make_handle() override {
     return std::make_unique<HandleAdapter>(inner_.make_handle());
@@ -69,10 +81,28 @@ class SetAdapter final : public core::ISet {
     else
       return 0;
   }
+  int shard_count() const override {
+    if constexpr (HasShardCount<Structure>::value)
+      return inner_.shard_count();
+    else
+      return 1;
+  }
+  std::vector<long> shard_ops() const override {
+    if constexpr (HasShardCount<Structure>::value)
+      return inner_.shard_ops();
+    else
+      return {};
+  }
+  std::vector<std::size_t> shard_sizes() const override {
+    if constexpr (HasShardCount<Structure>::value)
+      return inner_.shard_sizes();
+    else
+      return {};
+  }
   std::string_view name() const override { return id_; }
 
  private:
-  std::string_view id_;
+  std::string id_;
   Structure inner_;
 };
 
@@ -84,7 +114,7 @@ struct Entry {
 
 template <typename Structure>
 std::unique_ptr<core::ISet> make_adapter(std::string_view id) {
-  return std::make_unique<SetAdapter<Structure>>(id);
+  return std::make_unique<SetAdapter<Structure>>(std::string(id));
 }
 
 constexpr Entry kEntries[] = {
@@ -120,9 +150,93 @@ constexpr Entry kEntries[] = {
     {"skiplist_draconic", "l", &make_adapter<structures::SkipListDraconic>},
 };
 
+// --- sharding: `<base>/shN` ids --------------------------------------
+//
+// Any of the bases below accepts a `/shN` suffix and is then built as
+// shard::ShardedSet<Engine> -- N hash-partitioned lists over one
+// shared reclamation domain. Parsed dynamically so every N works; the
+// fixed `sharded_variant_ids()` list below is what the test tiers and
+// docs enumerate.
+
+struct ShardedEntry {
+  std::string_view base;
+  std::unique_ptr<core::ISet> (*make)(std::string id, int shards);
+};
+
+template <typename Engine>
+std::unique_ptr<core::ISet> make_sharded_adapter(std::string id, int shards) {
+  return std::make_unique<SetAdapter<shard::ShardedSet<Engine>>>(
+      std::move(id), shards);
+}
+
+constexpr ShardedEntry kShardedEntries[] = {
+    {"draconic", &make_sharded_adapter<core::DraconicList>},
+    {"singly", &make_sharded_adapter<core::SinglyList>},
+    {"doubly", &make_sharded_adapter<core::DoublyList>},
+    {"singly_cursor", &make_sharded_adapter<core::SinglyCursorList>},
+    {"singly_fetch_or", &make_sharded_adapter<core::SinglyFetchOrList>},
+    {"doubly_cursor", &make_sharded_adapter<core::DoublyCursorList>},
+    {"draconic/ebr", &make_sharded_adapter<core::DraconicListEbr>},
+    {"singly/ebr", &make_sharded_adapter<core::SinglyListEbr>},
+    {"doubly/ebr", &make_sharded_adapter<core::DoublyListEbr>},
+    {"singly_cursor/ebr", &make_sharded_adapter<core::SinglyCursorListEbr>},
+    {"singly_fetch_or/ebr",
+     &make_sharded_adapter<core::SinglyFetchOrListEbr>},
+    {"doubly_cursor/ebr", &make_sharded_adapter<core::DoublyCursorListEbr>},
+    {"draconic/hp", &make_sharded_adapter<core::DraconicListHp>},
+    {"singly/hp", &make_sharded_adapter<core::SinglyListHp>},
+    {"doubly/hp", &make_sharded_adapter<core::DoublyListHp>},
+    {"singly_cursor/hp", &make_sharded_adapter<core::SinglyCursorListHp>},
+    {"singly_fetch_or/hp", &make_sharded_adapter<core::SinglyFetchOrListHp>},
+    {"doubly_cursor/hp", &make_sharded_adapter<core::DoublyCursorListHp>},
+    {"hp_michael", &make_sharded_adapter<baselines::HpMichaelList>},
+    {"ebr_michael", &make_sharded_adapter<baselines::EbrMichaelList>},
+};
+
+/// Split `<base>/shN` into base and shard count. Returns false when the
+/// id has no well-formed `/sh<digits>` suffix.
+bool split_sharded_id(std::string_view id, std::string_view* base,
+                      int* shards) {
+  const auto pos = id.rfind("/sh");
+  if (pos == std::string_view::npos) return false;
+  const std::string_view digits = id.substr(pos + 3);
+  if (digits.empty() || digits.size() > 4) return false;
+  int n = 0;
+  for (const char ch : digits) {
+    if (ch < '0' || ch > '9') return false;
+    n = n * 10 + (ch - '0');
+  }
+  *base = id.substr(0, pos);
+  *shards = n;
+  return true;
+}
+
+std::unique_ptr<core::ISet> make_sharded_set(std::string_view id,
+                                             std::string_view base,
+                                             int shards) {
+  PRAGMALIST_CHECK(shards >= 1 && shards <= 1024,
+                   "shard count must be in [1, 1024]");
+  for (const auto& entry : kShardedEntries)
+    if (entry.base == base) return entry.make(std::string(id), shards);
+  std::string msg = "id '" + std::string(id) + "' has a /shN suffix but '" +
+                    std::string(base) + "' is not shardable; bases:";
+  for (const auto& entry : kShardedEntries) {
+    msg += ' ';
+    msg += entry.base;
+  }
+  PRAGMALIST_CHECK(false, msg.c_str());
+  __builtin_unreachable();
+}
+
 }  // namespace
 
 std::unique_ptr<core::ISet> make_set(std::string_view id) {
+  {
+    std::string_view base;
+    int shards = 0;
+    if (split_sharded_id(id, &base, &shards))
+      return make_sharded_set(id, base, shards);
+  }
   for (const auto& entry : kEntries)
     if (entry.id == id) return entry.make(entry.id);
   std::string msg = "unknown variant '" + std::string(id) + "'; known:";
@@ -130,6 +244,7 @@ std::unique_ptr<core::ISet> make_set(std::string_view id) {
     msg += ' ';
     msg += entry.id;
   }
+  msg += " (plus any shardable id with a /shN suffix, e.g. singly/ebr/sh8)";
   PRAGMALIST_CHECK(false, msg.c_str());
   __builtin_unreachable();
 }
@@ -159,6 +274,23 @@ const std::vector<std::string_view>& reclaim_variant_ids() {
     return v;
   }();
   return ids;
+}
+
+const std::vector<std::string_view>& sharded_variant_ids() {
+  // Backing strings first, views second: both static, so the views
+  // stay valid for the program's lifetime.
+  static const std::vector<std::string>* storage = [] {
+    auto* v = new std::vector<std::string>;
+    for (const auto id : reclaim_variant_ids())
+      v->push_back(std::string(id) + "/sh4");
+    return v;
+  }();
+  static const std::vector<std::string_view> views = [] {
+    std::vector<std::string_view> v;
+    for (const auto& s : *storage) v.push_back(s);
+    return v;
+  }();
+  return views;
 }
 
 const std::vector<std::string_view>& all_variant_ids() {

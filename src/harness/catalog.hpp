@@ -7,6 +7,12 @@
 // Reclaimer combinations: every paper variant also exists as
 //   `<variant>/ebr` and `<variant>/hp` (epoch-based and hazard-pointer
 //   reclamation from src/reclaim/; the bare id is the paper's arena)
+// Sharding: any paper variant or Michael baseline id -- with or
+//   without a reclaimer segment -- additionally accepts a `/shN`
+//   suffix (`singly/ebr/sh8`, `draconic/hp/sh16`, `singly_cursor/sh4`,
+//   `hp_michael/sh8`): N hash-partitioned lists behind one set,
+//   sharing one reclamation domain (src/shard/). Parsed dynamically,
+//   any N in [1, 1024].
 // Ablation-only: doubly_cursor_noprec, singly_cursor_backoff
 // Baselines: coarse_lock, lazy_lock, hp_michael, ebr_michael
 // Structures: skiplist, skiplist_draconic
@@ -36,6 +42,11 @@ const std::vector<std::string_view>& all_variant_ids();
 /// The `<variant>/<reclaimer>` grid: every paper variant under ebr and
 /// hp reclamation (the stress tier and bench_reclaim iterate this).
 const std::vector<std::string_view>& reclaim_variant_ids();
+
+/// The sharded showcase grid: every `<variant>/<reclaimer>` id behind
+/// a 4-way hash-sharded set (`<id>/sh4`). make_set accepts any
+/// `<base>/shN`; this fixed list is what the stress tiers iterate.
+const std::vector<std::string_view>& sharded_variant_ids();
 
 /// Paper row letter for an id ("a".."f"), successive letters for the
 /// baselines, "-" for anything unlettered.

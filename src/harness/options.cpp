@@ -71,6 +71,20 @@ long Options::get_long(const std::string& name, long def) const {
   return parse_long_or_warn(name, flag->value, def);
 }
 
+double Options::get_double(const std::string& name, double def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(flag->value.c_str(), &end);
+  if (end == flag->value.c_str() || *end != '\0') {
+    std::fprintf(stderr,
+                 "options: --%s value '%s' is not a number; using %g\n",
+                 name.c_str(), flag->value.c_str(), def);
+    return def;
+  }
+  return parsed;
+}
+
 bool Options::get_bool(const std::string& name) const {
   const Flag* flag = lookup(name);
   if (flag == nullptr) return false;

@@ -17,6 +17,9 @@ class Options {
   int get_int(const std::string& name, int def) const;
   long get_long(const std::string& name, long def) const;
 
+  /// Value of --name as double (e.g. --theta 0.99), or `def`.
+  double get_double(const std::string& name, double def) const;
+
   /// True when --name was given (with no value, or a value other than
   /// "0"/"false"/"no").
   bool get_bool(const std::string& name) const;

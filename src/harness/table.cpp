@@ -1,7 +1,10 @@
 #include "src/harness/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
+#include <sstream>
 
 namespace pragmalist::harness {
 
@@ -35,6 +38,38 @@ void write_csv(std::ostream& os, const std::vector<TableRow>& rows) {
        << r.kops_per_sec() << ',' << r.agg.adds << ',' << r.agg.rems << ','
        << r.agg.cons << "\n";
   }
+}
+
+double ShardLoad::imbalance() const {
+  if (!sharded()) return 0.0;
+  if (max_ops == 0) return 1.0;  // no traffic anywhere: degenerate spread
+  if (min_ops <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(max_ops) / static_cast<double>(min_ops);
+}
+
+ShardLoad shard_load(const core::ISet& set) {
+  ShardLoad load;
+  load.ops = set.shard_ops();
+  if (load.ops.empty()) return load;
+  load.max_ops = *std::max_element(load.ops.begin(), load.ops.end());
+  load.min_ops = *std::min_element(load.ops.begin(), load.ops.end());
+  return load;
+}
+
+std::string shard_load_line(const core::ISet& set) {
+  const ShardLoad load = shard_load(set);
+  if (!load.sharded()) return {};
+  std::ostringstream os;
+  os << "shards=" << load.ops.size() << " ops[min " << load.min_ops
+     << " max " << load.max_ops << " max/min ";
+  const double imbalance = load.imbalance();
+  if (std::isinf(imbalance))
+    os << "inf";  // a shard saw no traffic at all
+  else
+    os << std::fixed << std::setprecision(2) << imbalance;
+  os << "] per-shard:";
+  for (const long ops : load.ops) os << ' ' << ops;
+  return os.str();
 }
 
 }  // namespace pragmalist::harness

@@ -1,4 +1,5 @@
-// Paper-style result tables and their CSV twins.
+// Paper-style result tables and their CSV twins, plus the shard-load
+// summary the sharded benches print under each row.
 #pragma once
 
 #include <ostream>
@@ -21,5 +22,28 @@ void print_paper_table(std::ostream& os, const std::string& title,
 
 /// Machine-readable twin of print_paper_table.
 void write_csv(std::ostream& os, const std::vector<TableRow>& rows);
+
+/// Per-shard load distribution of a sharded set, read quiescently via
+/// ISet::shard_ops(). `sharded()` is false for every unsharded id, so
+/// callers can print unconditionally.
+struct ShardLoad {
+  std::vector<long> ops;  // per-shard routed operations
+  long max_ops = 0;
+  long min_ops = 0;
+
+  bool sharded() const { return ops.size() > 1; }
+
+  /// max/min per-shard op ratio: 1.0 is a perfect spread, large values
+  /// mean hot shards (a zipf stream concentrating on few shards), and
+  /// +infinity when a shard saw no traffic at all (the most lopsided
+  /// partition, printed as "inf"). 0 only for unsharded sets.
+  double imbalance() const;
+};
+
+ShardLoad shard_load(const core::ISet& set);
+
+/// One-line human summary: "shards=8 ops[min 812 max 1431
+/// max/min 1.76] per-shard: 812 901 ..."; empty for unsharded sets.
+std::string shard_load_line(const core::ISet& set);
 
 }  // namespace pragmalist::harness

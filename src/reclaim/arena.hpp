@@ -17,6 +17,11 @@
 //     the only policy with kStableAddresses, the capability gate for
 //     per-handle cursors without a hazard slot and for the doubly
 //     family's back-pointer hints.
+//
+// Like the reclaiming policies, one Arena instance is a *domain*: a
+// sharded set backs every shard with the same registry, so
+// allocated_nodes() aggregates across shards for free and handles
+// (stateless here) are leased per thread.
 #pragma once
 
 #include <cstddef>

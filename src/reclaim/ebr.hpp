@@ -63,8 +63,25 @@
 // scans get slower, pins get longer. Unpinned passes cannot block
 // anything, so the epoch keeps moving no matter how churn-saturated
 // the workload is (the churn test tier asserts exactly this).
+//
+// Collect cadence is **adaptive**: the per-handle trigger threshold
+// tracks an EWMA of the handle's recent retire rate (floored at
+// kRetireThreshold, capped at kCollectThresholdMax), and backs off
+// exponentially while passes are futile -- under an oversubscribed
+// scheduler a descheduled pinned thread stalls the horizon, and
+// re-scanning the handle table at every guard release frees nothing
+// while making the stall worse. The moment the global epoch moves
+// again, the next guard release collects regardless of the backed-off
+// threshold, so a spike drains as soon as it can instead of waiting
+// for limbo to reach the raised trigger.
+//
+// One Ebr instance is a *domain*: it may back any number of lists of
+// the same node type (the sharded set runs every shard against one
+// domain), and handles are leased per *thread*, not per list -- one
+// epoch slot covers a thread's operations on all of them.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -85,6 +102,7 @@ class Ebr {
   static constexpr int kMaxHandles = 256;
   static constexpr int kBags = 3;
   static constexpr std::size_t kRetireThreshold = 128;
+  static constexpr std::size_t kCollectThresholdMax = 4096;
 
  private:
   struct alignas(64) Slot {
@@ -104,7 +122,13 @@ class Ebr {
   class Handle {
    public:
     Handle(Handle&& o) noexcept
-        : d_(o.d_), slot_(o.slot_), limbo_size_(o.limbo_size_) {
+        : d_(o.d_),
+          slot_(o.slot_),
+          limbo_size_(o.limbo_size_),
+          collect_threshold_(o.collect_threshold_),
+          retired_since_collect_(o.retired_since_collect_),
+          rate_ewma_(o.rate_ewma_),
+          last_collect_epoch_(o.last_collect_epoch_) {
       for (int b = 0; b < kBags; ++b) bags_[b] = std::move(o.bags_[b]);
       o.d_ = nullptr;
       o.limbo_size_ = 0;
@@ -143,13 +167,7 @@ class Ebr {
       ~Guard() {
         h_.d_->slots_[h_.slot_].pinned.store(false,
                                              std::memory_order_release);
-        // Collect on own pressure, or on orphan-pool pressure: a
-        // straggler that barely retires must still adopt the garbage
-        // of departed threads, or a join/leave-heavy run leaks.
-        if (h_.limbo_size_ >= kRetireThreshold ||
-            h_.d_->orphan_count_.load(std::memory_order_relaxed) >=
-                kRetireThreshold)
-          h_.collect();
+        if (h_.collect_due()) h_.collect();
       }
 
      private:
@@ -170,7 +188,27 @@ class Ebr {
       bag.epoch = e;
       bag.nodes.push_back(n);
       ++limbo_size_;
+      ++retired_since_collect_;
       d_->limbo_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Adaptive cadence trigger, checked at guard release. Pressure is
+    /// the worse of own limbo and the orphan pool (a straggler that
+    /// barely retires must still adopt the garbage of departed
+    /// threads, or a join/leave-heavy run leaks) -- both gated the
+    /// same way: fire at the backed-off threshold, or at the base
+    /// threshold as soon as the epoch has moved since the last pass
+    /// (a backed-off spike must drain the moment the stall clears).
+    /// Past the cap the trigger fires every release by design: those
+    /// passes keep calling try_advance, which is what lets the epoch
+    /// move promptly once a stalled straggler unpins.
+    bool collect_due() const {
+      const std::size_t pressure = std::max(
+          limbo_size_, d_->orphan_count_.load(std::memory_order_relaxed));
+      if (pressure >= collect_threshold_) return true;
+      return pressure >= kRetireThreshold &&
+             d_->global_epoch_.load(std::memory_order_relaxed) !=
+                 last_collect_epoch_;
     }
 
     /// Free pass: advance the epoch if possible, then free every bag
@@ -184,24 +222,64 @@ class Ebr {
     void collect() {
       d_->try_advance();
       const std::uint64_t min_epoch = d_->min_pinned_epoch();
+      const std::size_t limbo_before = limbo_size_;
+      const std::size_t orphans_before =
+          d_->orphan_count_.load(std::memory_order_relaxed);
       for (Bag& bag : bags_) {
         if (bag.nodes.empty()) continue;
         if (bag.epoch + 2 <= min_epoch) d_->free_bag(bag, *this);
       }
       d_->collect_orphans(min_epoch);
+      adapt_cadence(limbo_before, orphans_before);
     }
 
     /// Retired-not-yet-freed nodes parked on this handle.
     std::size_t limbo_size() const { return limbo_size_; }
 
+    /// Current adaptive trigger (tests/metrics only).
+    std::size_t collect_threshold() const { return collect_threshold_; }
+
    private:
     friend class Ebr;
     Handle(Ebr* d, int slot) : d_(d), slot_(slot) {}
+
+    /// Re-tune the trigger after a pass. A futile pass (freed nothing,
+    /// own limbo or orphans alike) over above-threshold pressure means
+    /// a stalled horizon: double the threshold up to the cap. A
+    /// productive pass re-anchors it to the EWMA retire rate, floored
+    /// at the base threshold. A futile pass *below* the threshold
+    /// (only the epoch-moved clause fired) leaves it alone -- it is
+    /// neither evidence of a stall nor of drainage.
+    void adapt_cadence(std::size_t limbo_before,
+                       std::size_t orphans_before) {
+      rate_ewma_ = (3 * rate_ewma_ + retired_since_collect_) / 4;
+      retired_since_collect_ = 0;
+      last_collect_epoch_ =
+          d_->global_epoch_.load(std::memory_order_relaxed);
+      const std::size_t orphans_after =
+          d_->orphan_count_.load(std::memory_order_relaxed);
+      const bool futile =
+          limbo_size_ == limbo_before && orphans_after >= orphans_before;
+      const std::size_t pressure = std::max(limbo_size_, orphans_after);
+      if (futile && pressure >= collect_threshold_) {
+        if (collect_threshold_ < kCollectThresholdMax)
+          collect_threshold_ =
+              std::min(kCollectThresholdMax, collect_threshold_ * 2);
+      } else if (!futile) {
+        collect_threshold_ =
+            std::max(kRetireThreshold,
+                     std::min(kCollectThresholdMax, rate_ewma_));
+      }
+    }
 
     Ebr* d_;
     int slot_;
     Bag bags_[kBags];
     std::size_t limbo_size_ = 0;
+    std::size_t collect_threshold_ = kRetireThreshold;
+    std::size_t retired_since_collect_ = 0;
+    std::size_t rate_ewma_ = kRetireThreshold;
+    std::uint64_t last_collect_epoch_ = 0;
   };
 
   Ebr() = default;

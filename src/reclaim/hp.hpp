@@ -41,6 +41,19 @@
 //      acquire-CAS in make_handle() synchronizes with, so a re-leased
 //      slot is observed with all cells null and no stale protection
 //      can leak from the previous owner into the new lease.
+//
+// One Hp instance is a *domain*: it may back any number of lists of
+// the same node type (the sharded set runs every shard against one
+// domain), and handles are leased per *thread*, not per list -- one
+// kSlots-cell row covers a thread's traversals on all of them, which
+// is what keeps the hazard-slot total O(threads) instead of
+// O(threads x shards). Because the persistent kCursor cell is then a
+// per-thread resource shared by every borrowing list, the handle
+// carries a `cursor_owner` tag: the engine that last published a
+// cursor stamps itself, and any engine finding another owner's stamp
+// treats its own remembered cursor as lost instead of dereferencing a
+// node the cell no longer protects (or clearing a cell that now
+// guards someone else's cursor).
 #pragma once
 
 #include <array>
@@ -75,7 +88,10 @@ class Hp {
   class Handle {
    public:
     Handle(Handle&& o) noexcept
-        : d_(o.d_), slot_(o.slot_), retired_(std::move(o.retired_)) {
+        : cursor_owner(o.cursor_owner),
+          d_(o.d_),
+          slot_(o.slot_),
+          retired_(std::move(o.retired_)) {
       o.d_ = nullptr;
       o.retired_.clear();
     }
@@ -124,6 +140,11 @@ class Hp {
 
     /// Retired-not-yet-freed nodes parked on this handle.
     std::size_t limbo_size() const { return retired_.size(); }
+
+    /// Which borrower (list engine) currently owns the persistent
+    /// kCursor cell -- see the file comment. Only ever read/written by
+    /// the handle's own thread; nullptr when the cell is unclaimed.
+    const void* cursor_owner = nullptr;
 
    private:
     friend class Hp;

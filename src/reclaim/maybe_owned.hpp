@@ -1,0 +1,36 @@
+// MaybeOwned<Handle>: the one place the owning-vs-borrowing reclaim
+// handle distinction lives. A stand-alone list's handle *owns* its
+// per-thread reclaim handle (leased from the list's own domain,
+// departure protocol runs when the list handle dies); a shard's engine
+// handle *borrows* the single reclaim handle its worker leased for the
+// whole sharded set (shard::ShardedSet keeps it alive and on a stable
+// heap address). Every list engine stores one of these and reaches the
+// reclaim surface through operator-> -- and because the move
+// constructor re-seats the pointer at the owned copy, the engine
+// Handle's move constructor can stay defaulted.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+namespace pragmalist::reclaim {
+
+template <typename Handle>
+class MaybeOwned {
+ public:
+  explicit MaybeOwned(Handle owned) : owned_(std::move(owned)), ptr_(&*owned_) {}
+  explicit MaybeOwned(Handle* borrowed) : ptr_(borrowed) {}
+
+  MaybeOwned(MaybeOwned&& o) noexcept
+      : owned_(std::move(o.owned_)), ptr_(owned_ ? &*owned_ : o.ptr_) {}
+  MaybeOwned& operator=(MaybeOwned&&) = delete;
+
+  Handle* operator->() const { return ptr_; }
+  Handle& operator*() const { return *ptr_; }
+
+ private:
+  std::optional<Handle> owned_;  // absent when borrowing
+  Handle* ptr_;
+};
+
+}  // namespace pragmalist::reclaim

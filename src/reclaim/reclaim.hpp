@@ -56,8 +56,18 @@
 // exactly one thread -- the one whose CAS physically detached it --
 // and only after that CAS succeeded. Arena's retire is a no-op;
 // nothing in the shared code assumes retire implies free.
+//
+// A policy instance is a *domain*, not a per-list resource: the list
+// engines hold their domain through a shared_ptr, so any number of
+// same-node-type lists (the shards of shard::ShardedSet) can run
+// against one epoch clock / hazard-slot table / registry, and a
+// worker thread leases ONE handle from the domain and lends it to
+// every shard's engine handle (Engine::make_handle(ReclaimHandle&)).
+// That keeps per-process reclamation state O(threads), never
+// O(threads x shards).
 #pragma once
 
-#include "src/reclaim/arena.hpp"  // IWYU pragma: export
-#include "src/reclaim/ebr.hpp"    // IWYU pragma: export
-#include "src/reclaim/hp.hpp"     // IWYU pragma: export
+#include "src/reclaim/arena.hpp"        // IWYU pragma: export
+#include "src/reclaim/ebr.hpp"          // IWYU pragma: export
+#include "src/reclaim/hp.hpp"           // IWYU pragma: export
+#include "src/reclaim/maybe_owned.hpp"  // IWYU pragma: export

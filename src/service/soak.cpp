@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "src/common/debug.hpp"
 #include "src/harness/thread_team.hpp"
+#include "src/workload/distributions.hpp"
 #include "src/workload/rng.hpp"
 
 namespace pragmalist::service {
@@ -56,6 +58,14 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
     }
   }
 
+  // The zipf generator's O(universe) setup runs once, outside any
+  // worker; draws are const and stateless, so one instance is shared
+  // (run_random_mix does the same).
+  std::unique_ptr<const workload::ZipfKeys> zipf;
+  if (cfg.zipf_theta > 0.0)
+    zipf = std::make_unique<workload::ZipfKeys>(
+        static_cast<std::uint64_t>(cfg.universe), cfg.zipf_theta);
+
   // Workers hammer ops until told to stop, bumping a shared window
   // counter the sampler reads and resets each tick. On departure a
   // worker folds its counters into the aggregate under a mutex --
@@ -69,8 +79,10 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
     workload::Rng rng(workload::thread_seed(cfg.seed, worker_id));
     long local_ops = 0;
     while (!stop.load(std::memory_order_acquire)) {
-      const auto key = static_cast<long>(
-          rng.below(static_cast<std::uint64_t>(cfg.universe)));
+      const long key =
+          zipf ? (*zipf)(rng)
+               : static_cast<long>(
+                     rng.below(static_cast<std::uint64_t>(cfg.universe)));
       switch (cfg.mix.pick(rng)) {
         case workload::OpKind::kAdd:
           handle->add(key);
@@ -120,6 +132,8 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
   }
   result.ms = ms_since(start);
   result.agg = agg;
+  // All handles are closed, so the per-shard ledgers are complete.
+  result.shard_ops = set.shard_ops();
   return result;
 }
 

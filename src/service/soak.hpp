@@ -32,6 +32,10 @@ struct SoakConfig {
   workload::OpMix mix = workload::kScalingMix;  // 25/25/50
   std::uint64_t seed = 42;
   bool pin = false;
+  // 0 = uniform keys; > 0 draws keys Zipf(theta), so a sharded set's
+  // hot ranks concentrate on hot shards (shard::shard_of is a pure
+  // function of the key) and the per-shard load report shows the skew.
+  double zipf_theta = 0.0;
 };
 
 /// One per-tick observation. `ops` is the number of operations
@@ -51,6 +55,10 @@ struct SoakResult {
   double ms = 0.0;       // whole soak wall time
   int arrivals = 0;      // handles opened over the run
   int peak_threads = 0;
+  // Per-shard routed op counts, read quiescently after the last worker
+  // departed; empty for unsharded ids. bench_soak prints min/max and
+  // the max/min imbalance so skewed runs show their hot shards.
+  std::vector<long> shard_ops;
 
   long total_ops() const { return agg.total_ops(); }
   double kops_per_sec() const {

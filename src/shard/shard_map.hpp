@@ -1,0 +1,34 @@
+// The shard mapper: a pure function from key to shard index, shared by
+// the sharded set (routing operations), the workload layer (predicting
+// where a key stream lands), and the reporting helpers (attributing
+// per-shard load). One definition so every layer agrees on the
+// partition.
+//
+// Keys are mixed with a Fibonacci multiplicative hash (the golden-ratio
+// multiplier 2^64/phi) and folded high-into-low before the modulo:
+// bench key universes are dense integer ranges [0, u), and an unmixed
+// `key % shards` would stripe neighbouring keys across shards --
+// defeating exactly the locality experiments (cursors, zipf skew) the
+// benches run. After mixing, the map is uniform over dense ranges yet
+// still deterministic: a given key always lands on the same shard, so
+// a zipf-skewed stream concentrates its hot ranks on a few *hot
+// shards* -- the load-imbalance scenario the shard-load reports exist
+// to show.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pragmalist::shard {
+
+/// 2^64 / golden ratio, the standard Fibonacci-hash multiplier.
+inline constexpr std::uint64_t kShardMixer = 0x9E3779B97F4A7C15ull;
+
+/// Shard index of `key` in a `shards`-way partition (shards >= 1).
+inline std::size_t shard_of(long key, std::size_t shards) {
+  std::uint64_t x = static_cast<std::uint64_t>(key) * kShardMixer;
+  x ^= x >> 32;  // fold: the multiplier's entropy sits in the high bits
+  return static_cast<std::size_t>(x % shards);
+}
+
+}  // namespace pragmalist::shard

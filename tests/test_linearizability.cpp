@@ -221,6 +221,13 @@ std::vector<std::string_view> pragmatic_and_reclaim_ids() {
   std::vector<std::string_view> ids = harness::paper_variant_ids();
   const auto& combos = harness::reclaim_variant_ids();
   ids.insert(ids.end(), combos.begin(), combos.end());
+  // The sharded grid (every combo behind >= 2 hash shards): the
+  // Wing-Gong verdict must hold when the key space is partitioned
+  // across lists sharing one reclamation domain -- a cross-shard
+  // reclamation bug (e.g. a hazard cell clobbered by another shard)
+  // shows up here as an unexplainable history.
+  const auto& sharded = harness::sharded_variant_ids();
+  ids.insert(ids.end(), sharded.begin(), sharded.end());
   return ids;
 }
 

@@ -38,6 +38,20 @@ std::size_t footprint_bound(int phases_done) {
          kThreads * 300;
 }
 
+/// Quiescent drain: a fresh scratch handle runs a few read-only ops so
+/// its guard releases keep advancing the epoch and adopting what the
+/// departed workers orphaned. Under EBR's adaptive cadence a phase may
+/// end with up to a threshold's worth of young bags per handle still
+/// in the orphan pool (nothing is ever freeable sooner than two epochs
+/// after retirement); a couple of advances make all of it eligible, so
+/// the checkpoint asserts the real invariant -- everything beyond the
+/// live set is *reclaimable* within a few epochs, not that the
+/// scheduler happened to drain it already.
+void drain_quiescent(core::ISet& set) {
+  auto h = set.make_handle();
+  for (int i = 0; i < 8; ++i) h->contains(0);
+}
+
 /// One churn phase: every thread hammers a 50/45/5 add/remove/contains
 /// mix over the small universe (update-heavy so retirements dominate).
 core::OpCounters churn_phase(core::ISet& set, std::uint64_t seed) {
@@ -67,9 +81,19 @@ core::OpCounters churn_phase(core::ISet& set, std::uint64_t seed) {
 
 class EveryReclaimCombo : public ::testing::TestWithParam<std::string_view> {};
 
+/// The reclaim grid plus its sharded counterpart: the footprint bound
+/// must hold identically when N shards share one reclamation domain
+/// (the domain-wide allocated_nodes() already aggregates every shard).
+std::vector<std::string_view> reclaim_and_sharded_ids() {
+  std::vector<std::string_view> ids = harness::reclaim_variant_ids();
+  const auto& sharded = harness::sharded_variant_ids();
+  ids.insert(ids.end(), sharded.begin(), sharded.end());
+  return ids;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Catalog, EveryReclaimCombo,
-    ::testing::ValuesIn(harness::reclaim_variant_ids()),
+    ::testing::ValuesIn(reclaim_and_sharded_ids()),
     [](const ::testing::TestParamInfo<std::string_view>& info) {
       std::string name(info.param);
       for (char& c : name)
@@ -92,7 +116,9 @@ TEST_P(EveryReclaimCombo, ChurnKeepsFootprintBoundedAndStructureValid) {
     ASSERT_EQ(static_cast<long>(set->size()), agg.adds - agg.rems)
         << "phase " << phase;
 
-    // Footprint: nowhere near the cumulative churn volume.
+    // Footprint after a drain: nowhere near the cumulative churn
+    // volume.
+    drain_quiescent(*set);
     EXPECT_LE(set->allocated_nodes(), footprint_bound(phase + 1))
         << "phase " << phase;
   }
@@ -122,7 +148,7 @@ TEST(ArenaContrast, ArenaFootprintGrowsWithEveryInsert) {
 // Handle slots must be released and reusable: cycle far more handles
 // than the domain has slots (256), each parking a little garbage.
 TEST(HandleLifecycle, SlotsAreReleasedAndLeftoversParked) {
-  for (const auto id : harness::reclaim_variant_ids()) {
+  for (const auto id : reclaim_and_sharded_ids()) {
     auto set = harness::make_set(id);
     for (int i = 0; i < 300; ++i) {
       auto h = set->make_handle();
@@ -132,6 +158,39 @@ TEST(HandleLifecycle, SlotsAreReleasedAndLeftoversParked) {
     std::string err;
     EXPECT_TRUE(set->validate(&err)) << id << ": " << err;
     EXPECT_EQ(set->size(), 0u) << id;
+  }
+}
+
+// The shared-domain budget, the reason the domain/handle split exists:
+// 200 *concurrent* workers on an 8-shard set fit the one 256-slot
+// domain because each worker leases ONE reclaim handle for all eight
+// shards. Per-shard domains would need 1600 slots (or 1600 hazard-cell
+// rows) and abort in make_handle.
+TEST(HandleLifecycle, ShardedWorkersCostOneSlotNotOnePerShard) {
+  constexpr int kWorkers = 200;  // > 256 / 8, well under 256
+  for (const std::string_view id : {std::string_view("singly/ebr/sh8"),
+                                    std::string_view("singly_cursor/hp/sh8")}) {
+    auto set = harness::make_set(id);
+    harness::run_team(
+        kWorkers,
+        [&](int t) {
+          auto h = set->make_handle();
+          workload::Rng rng(workload::thread_seed(77, t));
+          for (long i = 0; i < 200; ++i) {
+            const long k = static_cast<long>(rng.below(kUniverse));
+            if (rng.below(2) == 0)
+              h->add(k);
+            else
+              h->remove(k);
+          }
+        },
+        /*pin=*/false);
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << id << ": " << err;
+    // Limbo residue is per-thread bounded, never per-thread-per-shard.
+    EXPECT_LE(set->limbo_nodes(),
+              static_cast<std::size_t>(kWorkers) * 400 + kUniverse)
+        << id;
   }
 }
 

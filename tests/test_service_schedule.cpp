@@ -7,6 +7,10 @@
 //    epochs after retirement, a pinned straggler blocks the horizon,
 //    bag rotation frees a stale same-residue bag on reuse, and a
 //    departing handle's young limbo is adopted from the orphan pool;
+//  * EBR adaptive collect cadence -- the trigger threshold backs off
+//    exponentially (capped) while the horizon is stalled, re-arms the
+//    moment the epoch moves, and tracks the handle's EWMA retire rate
+//    once passes are productive;
 //  * HP slot re-lease -- a departed handle's cursor-cell protection
 //    does not leak into the next lease, and its orphaned retirees are
 //    adopted and freed by survivors;
@@ -227,6 +231,97 @@ TEST(EbrBuckets, DepartingHandlesLimboIsAdoptedBySurvivors) {
   for (int i = 0; i < 3; ++i) survivor.collect();
   EXPECT_EQ(freed.load(), 1);
   EXPECT_EQ(d.limbo_nodes(), 0u);
+}
+
+// --- EBR adaptive collect cadence ------------------------------------
+
+using EbrCounting = reclaim::Ebr<CountingNode>;
+
+std::vector<CountingNode*> retire_n(EbrCounting& d,
+                                    EbrCounting::Handle& h, int n,
+                                    std::atomic<int>* freed) {
+  std::vector<CountingNode*> nodes;
+  for (int i = 0; i < n; ++i) {
+    auto* node = new CountingNode(freed);
+    d.track(node);
+    h.retire(node);
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+TEST(EbrAdaptiveCadence, ThresholdBacksOffWhileHorizonStalledAndCaps) {
+  std::atomic<int> freed{0};
+  EbrCounting d;
+  auto h1 = d.make_handle();
+  auto h2 = d.make_handle();
+  EXPECT_EQ(h1.collect_threshold(), EbrCounting::kRetireThreshold);
+
+  {
+    auto straggler = h2.guard();  // pins the horizon at the current epoch
+    retire_n(d, h1, 5000, &freed);
+    // Every pass is futile (nothing is two epochs past a pinned
+    // horizon) over above-threshold limbo: the trigger must double
+    // each time and stop at the cap, never exceed it.
+    std::size_t prev = h1.collect_threshold();
+    while (h1.collect_threshold() < EbrCounting::kCollectThresholdMax) {
+      h1.collect();
+      EXPECT_EQ(freed.load(), 0);
+      EXPECT_EQ(h1.collect_threshold(),
+                std::min(EbrCounting::kCollectThresholdMax, prev * 2));
+      prev = h1.collect_threshold();
+    }
+    h1.collect();  // still futile, already at the cap
+    EXPECT_EQ(h1.collect_threshold(), EbrCounting::kCollectThresholdMax);
+    EXPECT_EQ(freed.load(), 0);
+  }
+
+  // Stall over: two passes move the horizon two epochs past the
+  // retirements, everything drains, and the trigger re-anchors to the
+  // (decayed) rate instead of staying ballooned.
+  h1.collect();
+  h1.collect();
+  EXPECT_EQ(freed.load(), 5000);
+  EXPECT_GE(h1.collect_threshold(), EbrCounting::kRetireThreshold);
+  EXPECT_LT(h1.collect_threshold(), EbrCounting::kCollectThresholdMax);
+}
+
+TEST(EbrAdaptiveCadence, EpochMovementRearmsTheCollectTrigger) {
+  std::atomic<int> freed{0};
+  EbrCounting d;
+  auto h1 = d.make_handle();
+  auto h2 = d.make_handle();
+
+  retire_n(d, h1, 200, &freed);
+  EXPECT_TRUE(h1.collect_due());  // past the base threshold
+  h1.collect();                   // futile: retirees one epoch young
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(h1.collect_threshold(), 2 * EbrCounting::kRetireThreshold);
+  // Below the backed-off trigger and the epoch has not moved since the
+  // pass: no re-scan (this is the futile-pass cost the backoff cuts).
+  EXPECT_FALSE(h1.collect_due());
+
+  h2.collect();  // another handle advances the global epoch
+  EXPECT_TRUE(h1.collect_due()) << "epoch moved: the spike must drain now";
+  h1.collect();
+  EXPECT_EQ(freed.load(), 200);
+  EXPECT_EQ(h1.collect_threshold(), EbrCounting::kRetireThreshold);
+}
+
+TEST(EbrAdaptiveCadence, ThresholdTracksTheRetireRate) {
+  std::atomic<int> freed{0};
+  EbrCounting d;
+  auto h = d.make_handle();
+  // Ten rounds of retire-1000-then-collect: the EWMA converges toward
+  // the per-pass rate, so the trigger lands near 1000 -- proportional
+  // to the handle's recent retire rate, clamped to [base, cap].
+  for (int round = 0; round < 10; ++round) {
+    retire_n(d, h, 1000, &freed);
+    h.collect();
+  }
+  EXPECT_GT(freed.load(), 5000);  // passes were productive
+  EXPECT_GE(h.collect_threshold(), 600u);
+  EXPECT_LE(h.collect_threshold(), 1100u);
 }
 
 // --- HP slot re-lease ------------------------------------------------

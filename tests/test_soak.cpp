@@ -147,6 +147,43 @@ TEST(BurstSoak, ReArrivalsReuseReclaimerSlots) {
   }
 }
 
+// The sharded soak: dynamic membership over a hash-sharded set. The
+// same footprint/limbo bounds apply verbatim because every shard
+// shares ONE reclamation domain (domain-wide counters, one reclaim
+// handle per worker); and the driver's quiescent per-shard ledger must
+// account for every routed operation, workers and prefill alike.
+TEST(ShardedSoak, RampSoakStaysBoundedAndLedgersCoverEveryOp) {
+  for (const std::string_view id : {std::string_view("singly/ebr/sh8"),
+                                    std::string_view("singly_cursor/hp/sh8"),
+                                    std::string_view("doubly/ebr/sh4")}) {
+    auto set = harness::make_set(id);
+    const auto cfg = short_soak(service::SoakSchedule::kRamp);
+    const auto r = service::run_soak(*set, cfg);
+
+    for (std::size_t i = 0; i < r.series.size(); ++i) {
+      EXPECT_LE(r.series[i].footprint, sample_bound(r.series, i))
+          << id << " tick " << r.series[i].tick;
+      EXPECT_LE(r.series[i].limbo, sample_bound(r.series, i))
+          << id << " tick " << r.series[i].tick;
+    }
+
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << id << ": " << err;
+    EXPECT_EQ(static_cast<long>(set->size()),
+              cfg.prefill + r.agg.adds - r.agg.rems)
+        << id;
+    EXPECT_LE(set->allocated_nodes(), quiescent_bound()) << id;
+
+    // The driver captured the quiescent per-shard ledger: every worker
+    // op plus the prefill handle's attempts, nothing lost.
+    ASSERT_EQ(static_cast<int>(r.shard_ops.size()), set->shard_count())
+        << id;
+    long routed = 0;
+    for (const long ops : r.shard_ops) routed += ops;
+    EXPECT_GE(routed, r.total_ops() + cfg.prefill) << id;
+  }
+}
+
 // Concurrent HP slot re-lease: a long-lived cursor-holding churner
 // runs while two other threads cycle through far more handles than the
 // domain has hazard slots (256), each departure orphaning retirees.
