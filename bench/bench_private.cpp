@@ -51,6 +51,8 @@ harness::RunResult private_mix(int p, long c, long universe,
             case workload::OpKind::kContains:
               ops.contains(k);
               break;
+            case workload::OpKind::kScan:
+              break;  // unreachable: the table mix has no scan share
           }
         }
         counters[static_cast<std::size_t>(t)] = ops.counters();

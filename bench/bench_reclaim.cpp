@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   csv_rows.insert(csv_rows.end(), ref_rows.begin(), ref_rows.end());
 
   // --- view 3: shard sweep ------------------------------------------
-  const std::vector<long> shard_counts = opt.get_long_list("shards", {});
+  const std::vector<long> shard_counts = opt.get_longs("shards", {});
   if (!shard_counts.empty()) {
     harness::KeyDist dist = harness::KeyDist::uniform();
     if (opt.get_string("dist", "uniform") == "zipf")

@@ -1,0 +1,163 @@
+// Range-scan cost across the reclamation protocols -- the bench the
+// scan API redesign exists for. Point-op throughput barely separates
+// EBR from HP, but ordered scans are where the two protocols finally
+// diverge measurably:
+//
+//   * arena -- scans walk freely (stable addresses), the upper bound;
+//   * EBR   -- one epoch pin covers the whole scan, so scan-heavy
+//     mixes hold the reclamation horizon and the limbo column grows
+//     with scan width;
+//   * HP    -- every step pays publish + anchor revalidation and a
+//     lost anchor restarts the walk from the head, so scans are slower
+//     but limbo stays per-thread bounded no matter how wide they get.
+//
+// The grid: {point-heavy, scan-heavy} mix x each selected variant x
+// arena/ebr/hp x every requested shard count. Sharded rows run the
+// k-way merge over per-shard cursors; every scanned key is checked
+// in-line for global ascending order (run_random_mix aborts
+// otherwise), and after each run a quiescent full-range scan must
+// reproduce snapshot() exactly -- the bench refuses to report numbers
+// from a scan that is not a correct merged ordered read.
+//
+//   bench_scan [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
+//              [--variants b,f | ids | all] [--shards 1,4]
+//              [--scan-frac PCT] [--scan-width W] [--no-pin]
+//
+// --scan-frac sets the scan share of the scan-heavy mix (default 40;
+// the point-heavy mix always runs 2% scans so both columns price the
+// same operation); widths are uniform in [1, --scan-width].
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/workload/op_mix.hpp"
+
+namespace {
+
+struct Cell {
+  pragmalist::harness::RunResult result;
+  std::size_t footprint = 0;
+  std::size_t limbo = 0;
+};
+
+/// Quiescent cross-check: a full-range scan through a fresh handle
+/// must reproduce snapshot() key for key (for sharded sets this is the
+/// k-way merge against the sort-after-concatenate oracle).
+void check_scan_matches_snapshot(pragmalist::core::ISet& set) {
+  std::vector<long> scanned;
+  auto h = set.make_handle();
+  h->range_scan(std::numeric_limits<long>::min(),
+                std::numeric_limits<long>::max(),
+                [&](long k) { scanned.push_back(k); });
+  PRAGMALIST_CHECK(scanned == set.snapshot(),
+                   "quiescent full-range scan does not match snapshot()");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const int p = bench::default_threads(opt, 16);
+  const long c = opt.get_long("c", 25000);
+  const long universe = opt.get_long("u", 4096);
+  const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
+  const bool pin = !opt.get_bool("no-pin");
+  const int scan_frac = opt.get_int("scan-frac", 40);
+  const workload::ScanWidths widths = bench::scan_widths(opt);
+
+  // Both mixes start from the update-heavy 25/25/50 and carve the scan
+  // share out of contains, so add/remove pressure is identical across
+  // the two columns and only the read shape changes.
+  struct MixRow {
+    const char* name;
+    workload::OpMix mix;
+  };
+  const MixRow mixes[] = {
+      {"point", bench::with_scans(workload::kScalingMix, 2)},
+      {"scan", bench::with_scans(workload::kScalingMix, scan_frac)},
+  };
+
+  // --variants takes paper row letters or ids, default rows b and f
+  // (the pragmatic baseline and the paper's best all-round variant).
+  std::vector<std::string_view> variants;
+  {
+    const std::vector<std::string> tokens =
+        opt.get_string_list("variants", {"b", "f"});
+    const bool all = tokens.size() == 1 && tokens.front() == "all";
+    for (const std::string_view id : harness::paper_variant_ids()) {
+      bool wanted = all;
+      for (const auto& tok : tokens)
+        wanted |= tok == id || tok == harness::variant_letter(id);
+      if (wanted) variants.push_back(id);
+    }
+    PRAGMALIST_CHECK(!variants.empty(),
+                     "--variants matched none of the paper rows a-f");
+  }
+  const std::vector<long> shard_counts = opt.get_longs("shards", {1, 4});
+  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
+
+  auto run_one = [&](const std::string& id, const workload::OpMix& mix) {
+    auto set = harness::make_set(id);
+    Cell cell;
+    cell.result =
+        harness::run_random_mix(*set, p, c, /*f=*/1000, universe, mix, seed,
+                                pin, harness::KeyDist::uniform(), widths);
+    bench::check_valid(*set);
+    check_scan_matches_snapshot(*set);
+    cell.footprint = set->allocated_nodes();
+    cell.limbo = set->limbo_nodes();
+    return cell;
+  };
+
+  std::cout << "Scan grid, p=" << p << ", c=" << c << ", u=" << universe
+            << ", widths 1-" << widths.max_width
+            << " (point = 25/25/48/2, scan = 25/25/" << (50 - scan_frac)
+            << "/" << scan_frac
+            << " add/rem/con/scan; keys = keys emitted per scan on"
+            << " average; sharded rows k-way-merge and are checked"
+            << " globally sorted)\n\n";
+  std::cout << std::left << std::setw(26) << "variant" << std::right
+            << std::setw(6) << "sh" << std::setw(7) << "mix" << std::setw(11)
+            << "kops/s" << std::setw(10) << "keys" << std::setw(10) << "fp"
+            << std::setw(10) << "limbo" << "\n";
+
+  std::vector<harness::TableRow> csv_rows;
+  for (const auto v : variants) {
+    for (const auto r : reclaimers) {
+      const std::string base =
+          r == "arena" ? std::string(v)
+                       : std::string(v) + "/" + std::string(r);
+      for (const long n : shard_counts) {
+        if (n < 1) continue;
+        const std::string id =
+            n == 1 ? base : base + "/sh" + std::to_string(n);
+        for (const auto& row : mixes) {
+          const Cell cell = run_one(id, row.mix);
+          const double keys_per_scan =
+              cell.result.agg.scan_calls > 0
+                  ? static_cast<double>(cell.result.agg.scans) /
+                        static_cast<double>(cell.result.agg.scan_calls)
+                  : 0.0;
+          std::cout << std::left << std::setw(26)
+                    << (std::string(v) + "/" + std::string(r)) << std::right
+                    << std::setw(6) << n << std::setw(7) << row.name
+                    << std::setw(11) << std::fixed << std::setprecision(0)
+                    << cell.result.kops_per_sec() << std::setw(10)
+                    << std::setprecision(1) << keys_per_scan << std::setw(10)
+                    << cell.footprint << std::setw(10) << cell.limbo << "\n";
+          csv_rows.push_back({std::string(v) + "/" + std::string(r) + "/sh" +
+                                  std::to_string(n) + ":" + row.name,
+                              cell.result});
+        }
+      }
+    }
+  }
+
+  bench::emit_csv("bench_scan.csv", csv_rows);
+  return 0;
+}

@@ -13,6 +13,11 @@
 //              [--max-threads P] [--u UNIVERSE] [--prefill F]
 //              [--seed S] [--ids all|ID,ID,...] [--no-pin] [--series]
 //              [--shards N,N,...] [--zipf-theta T]
+//              [--scan-frac PCT] [--scan-width W]
+//
+// --scan-frac carves PCT of the contains share into range scans
+// (widths uniform in [1, W]); long scans pin EBR's epoch for their
+// whole duration, which is exactly what the limbo series is for.
 //
 // Per id: one summary row (kops/s, arrivals, peak/end footprint,
 // peak/end limbo), plus a per-shard load line (op counts and max/min
@@ -61,6 +66,9 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
   cfg.pin = !opt.get_bool("no-pin");
   cfg.zipf_theta = opt.get_double("zipf-theta", 0.0);
+  const int scan_frac = opt.get_int("scan-frac", 0);
+  cfg.mix = bench::with_scans(cfg.mix, scan_frac);
+  cfg.scan_widths = bench::scan_widths(opt);
   const bool series = opt.get_bool("series");
 
   // --ids: default is the whole reclaim grid (every <variant>/ebr|hp).
@@ -75,7 +83,7 @@ int main(int argc, char** argv) {
   // --shards sweeps every id at each count: 1 leaves the id alone, any
   // other count appends the catalog's /shN suffix.
   std::vector<std::string> run_ids;
-  for (const long n : opt.get_long_list("shards", {1})) {
+  for (const long n : opt.get_longs("shards", {1})) {
     if (n < 1) continue;
     for (const auto& id : ids)
       run_ids.push_back(n == 1 ? id : id + "/sh" + std::to_string(n));
@@ -84,7 +92,11 @@ int main(int argc, char** argv) {
   std::cout << "Soak grid, schedule=" << soak_schedule_name(cfg.schedule)
             << ", " << duration_s << " s/id (" << cfg.ticks << " ticks x "
             << cfg.tick_ms << " ms), max p=" << cfg.max_threads
-            << ", u=" << cfg.universe << ", mix 25/25/50";
+            << ", u=" << cfg.universe << ", mix " << cfg.mix.add_pct << "/"
+            << cfg.mix.rem_pct << "/" << cfg.mix.con_pct;
+  if (cfg.mix.scan_pct > 0)
+    std::cout << "/" << cfg.mix.scan_pct << " scans (width 1-"
+              << cfg.scan_widths.max_width << ")";
   if (cfg.zipf_theta > 0.0)
     std::cout << ", keys zipf(" << cfg.zipf_theta << ")";
   std::cout << "\n(fp = allocated-not-freed nodes, limbo = retired-not-freed;"

@@ -11,6 +11,7 @@
 #include "src/harness/catalog.hpp"
 #include "src/harness/options.hpp"
 #include "src/harness/table.hpp"
+#include "src/workload/op_mix.hpp"
 
 namespace pragmalist::bench {
 
@@ -43,6 +44,25 @@ inline void emit_csv(const std::string& filename,
 inline void check_valid(const core::ISet& set) {
   std::string err;
   PRAGMALIST_CHECK(set.validate(&err), err.c_str());
+}
+
+/// Carve a scan fraction out of a point mix's contains share:
+/// {25,25,50} with scan_pct 20 becomes 25/25/30/20. The shared
+/// --scan-frac semantics of bench_scan and bench_soak.
+inline workload::OpMix with_scans(workload::OpMix mix, int scan_pct) {
+  PRAGMALIST_CHECK(scan_pct >= 0 && scan_pct <= mix.con_pct,
+                   "--scan-frac must be in [0, contains share]");
+  mix.con_pct -= scan_pct;
+  mix.scan_pct = scan_pct;
+  return mix;
+}
+
+/// The shared --scan-width flag: widths drawn uniformly in [1, W].
+inline workload::ScanWidths scan_widths(const harness::Options& opt,
+                                        long def_width = 64) {
+  const long w = opt.get_long("scan-width", def_width);
+  PRAGMALIST_CHECK(w >= 1, "--scan-width must be at least 1");
+  return {1, w};
 }
 
 }  // namespace pragmalist::bench

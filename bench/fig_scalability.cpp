@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   std::vector<long> default_threads{1, 2, 3, 4, 6, 8};
   if (paper)
     default_threads = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64};
-  const auto thread_counts = opt.get_long_list("threads", default_threads);
+  const auto thread_counts = opt.get_longs("threads", default_threads);
 
   const auto& ids = harness::figure_variant_ids();
   // series[id] -> per-thread-count mean Kops/s

@@ -61,6 +61,19 @@ class EbrMichaelList {
       ctr_.cons += ok;
       return ok;
     }
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive for the sharded k-way merge. One
+    /// epoch pin covers the whole page -- the EBR scan protocol.
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      auto pin = rh_->guard();
+      return core::scan::plain_scan(list_->head_, from, hi, limit, sink);
+    }
     const core::OpCounters& counters() const { return ctr_; }
 
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer

@@ -63,6 +63,22 @@ class HpMichaelList {
       ctr_.cons += ok;
       return ok;
     }
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive for the sharded k-way merge. Runs the
+    /// shared re-anchoring hazard scan (slots 0-2; Michael's find uses
+    /// the same cells, never concurrently on one handle). The scan
+    /// steps over marked nodes -- safe under the anchored-validation
+    /// argument even though this list's updates are draconic.
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      return core::scan::hazard_scan(*rh_, list_->head_, from, hi, limit,
+                                     sink);
+    }
     const core::OpCounters& counters() const { return ctr_; }
 
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer

@@ -15,6 +15,7 @@
 #include <limits>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/sequential_list.hpp"
@@ -49,6 +50,21 @@ class CoarseLockList {
       const bool ok = list_->inner_.contains(key);
       ctr_.cons += ok;
       return ok;
+    }
+    // Scans hold the one lock for the whole walk -- the coarse
+    // baseline's honest price for a trivially atomic range read. The
+    // sink must not reenter the set (it would self-deadlock).
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive for the sharded k-way merge.
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      std::lock_guard<std::mutex> g(list_->mu_);
+      return list_->inner_.range_scan(from, hi, limit, sink);
     }
     const core::OpCounters& counters() const { return ctr_; }
 
@@ -101,6 +117,20 @@ class LazyLockList {
       const bool ok = list_->do_contains(key);
       ctr_.cons += ok;
       return ok;
+    }
+    // Lock-free like the lazy list's contains: readers traverse
+    // without locks and skip marked nodes; unlinked nodes stay on the
+    // retire registry until teardown, so the walk never dangles.
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive for the sharded k-way merge.
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      return list_->do_scan(from, hi, limit, sink);
     }
     const core::OpCounters& counters() const { return ctr_; }
 
@@ -160,10 +190,11 @@ class LazyLockList {
   }
 
   std::vector<long> snapshot() const {
+    // The quiescent snapshot is the full-range scan walk.
     std::vector<long> keys;
-    for (const Node* n = head_->next.load(); n != tail_;
-         n = n->next.load())
-      if (!n->marked.load(std::memory_order_relaxed)) keys.push_back(n->key);
+    do_scan(std::numeric_limits<long>::min(),
+            std::numeric_limits<long>::max(), /*limit=*/-1,
+            [&](long k) { keys.push_back(k); });
     return keys;
   }
 
@@ -218,6 +249,24 @@ class LazyLockList {
     while (cur->key < key) cur = cur->next.load();
     return cur != tail_ && cur->key == key &&
            !cur->marked.load(std::memory_order_acquire);
+  }
+
+  /// Lock-free scan walk (also the quiescent snapshot walk): a removed
+  /// node's next pointer still leads onward into the list, so keys stay
+  /// strictly ascending along any traversal path.
+  long do_scan(long from, long hi, long limit,
+               const core::KeySink& sink) const {
+    long emitted = 0;
+    for (const Node* n = head_->next.load(); n != tail_;
+         n = n->next.load()) {
+      if (n->marked.load(std::memory_order_acquire)) continue;
+      if (n->key > hi || (limit >= 0 && emitted >= limit)) break;
+      if (n->key >= from) {
+        sink(n->key);
+        ++emitted;
+      }
+    }
+    return emitted;
   }
 
   Node* head_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -68,10 +69,28 @@ class SequentialList {
   core::OpCounters counters() const { return ctr_; }
   std::size_t size() const { return size_; }
 
+  /// Emit live keys in [from, hi] ascending, at most `limit` (< 0 =
+  /// unbounded); returns the number emitted. The scan oracle for the
+  /// concurrent structures' range_scan/ascend (and the walk behind
+  /// snapshot() and CoarseLockList's scans).
+  long range_scan(long from, long hi, long limit,
+                  const core::KeySink& sink) const {
+    long emitted = 0;
+    for (const Node* n = head_; n != nullptr; n = n->next) {
+      if (n->key > hi || (limit >= 0 && emitted >= limit)) break;
+      if (n->key >= from) {
+        sink(n->key);
+        ++emitted;
+      }
+    }
+    return emitted;
+  }
+
   std::vector<long> snapshot() const {
     std::vector<long> keys;
-    for (const Node* n = head_; n != nullptr; n = n->next)
-      keys.push_back(n->key);
+    range_scan(std::numeric_limits<long>::min(),
+               std::numeric_limits<long>::max(), /*limit=*/-1,
+               [&](long k) { keys.push_back(k); });
     return keys;
   }
 

@@ -86,6 +86,17 @@ class DoublyFamilyList {
       ctr_.cons += ok;
       return ok;
     }
+    long range_scan(long lo, long hi, const KeySink& sink) {
+      return counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive: the sharded k-way merge drives this
+    /// per shard and counts once per logical scan at the set level.
+    long scan_raw(long from, long hi, long limit, const KeySink& sink) {
+      return list_->do_scan(*this, from, hi, limit, sink);
+    }
     const OpCounters& counters() const { return ctr_; }
 
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
@@ -414,6 +425,19 @@ class DoublyFamilyList {
             [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {});
     update_cursor(h, w.prev);
     return w.cur != nullptr && w.cur->key == key;
+  }
+
+  /// The scan primitive behind range_scan()/ascend(). Back pointers
+  /// are never involved: scans walk forward only, with the same
+  /// protocol split as the singly family (arena free walk / one EBR
+  /// pin per scan / re-anchoring HP scan), and never touch the cursor.
+  long do_scan(Handle& h, long from, long hi, long limit,
+               const KeySink& sink) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    if constexpr (kHazards)
+      return scan::hazard_scan(*h.rh_, head_, from, hi, limit, sink);
+    else
+      return scan::plain_scan(head_, from, hi, limit, sink);
   }
 
   std::shared_ptr<Reclaim> domain_;

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,35 +18,91 @@ namespace pragmalist::core {
 /// operations (add inserted, remove deleted, contains hit); the
 /// *_calls fields count attempts. The random-mix conservation check
 /// (prefill + adds - rems == population) depends on the success counts.
+/// `scan_calls` counts range_scan()/ascend() invocations (one per call,
+/// like the other *_calls) and `scans` the keys those calls emitted.
 struct OpCounters {
   long adds = 0;
   long rems = 0;
   long cons = 0;
+  long scans = 0;
   long add_calls = 0;
   long rem_calls = 0;
   long con_calls = 0;
+  long scan_calls = 0;
 
-  long total_ops() const { return add_calls + rem_calls + con_calls; }
+  long total_ops() const {
+    return add_calls + rem_calls + con_calls + scan_calls;
+  }
 
   OpCounters& operator+=(const OpCounters& o) {
     adds += o.adds;
     rems += o.rems;
     cons += o.cons;
+    scans += o.scans;
     add_calls += o.add_calls;
     rem_calls += o.rem_calls;
     con_calls += o.con_calls;
+    scan_calls += o.scan_calls;
     return *this;
   }
 };
 
+/// Receives the keys a range scan emits, in ascending order.
+using KeySink = std::function<void(long)>;
+
+/// The counted public scan forms, implemented once over any concrete
+/// handle exposing the uncounted `scan_raw(from, hi, limit, sink)`
+/// primitive. Every engine/baseline/sharded handle delegates here, so
+/// the scans/scan_calls ledger rules live in exactly one place.
+template <typename Handle>
+long counted_range_scan(Handle& h, OpCounters& ctr, long lo, long hi,
+                        const KeySink& sink) {
+  ++ctr.scan_calls;
+  const long n = h.scan_raw(lo, hi, /*limit=*/-1, sink);
+  ctr.scans += n;
+  return n;
+}
+
+template <typename Handle>
+std::vector<long> counted_ascend(Handle& h, OpCounters& ctr, long from,
+                                 std::size_t limit) {
+  ++ctr.scan_calls;
+  std::vector<long> out;
+  out.reserve(limit);
+  h.scan_raw(from, std::numeric_limits<long>::max(),
+             static_cast<long>(limit), [&](long k) { out.push_back(k); });
+  ctr.scans += static_cast<long>(out.size());
+  return out;
+}
+
 /// A thread's view of a set. Not thread-safe: exactly one thread uses a
 /// given handle. Handles must not outlive their set.
+///
+/// Scan contract (range_scan/ascend): keys are emitted in strictly
+/// ascending order while other workers mutate the set; every emitted
+/// key was present, and every in-range omitted key absent, at some
+/// instant during the call (per-key atomicity -- each key of the range
+/// linearizes as its own atomic membership read inside the scan's
+/// window; the scan linearizability tier checks exactly this). A scan
+/// is *not* an atomic snapshot of the whole range: keys mutated while
+/// the scan is in flight may or may not appear. Quiescently (no
+/// concurrent writers) a full-range scan equals ISet::snapshot().
 class ISetHandle {
  public:
   virtual ~ISetHandle() = default;
   virtual bool add(long key) = 0;
   virtual bool remove(long key) = 0;
   virtual bool contains(long key) = 0;
+
+  /// Emit every live key in [lo, hi] (inclusive) into `sink`, ascending.
+  /// Returns the number of keys emitted (0 when lo > hi).
+  virtual long range_scan(long lo, long hi, const KeySink& sink) = 0;
+
+  /// Paging form: up to `limit` live keys >= `from`, ascending. An
+  /// ascending pager resumes with from = last returned key + 1; a
+  /// result shorter than `limit` means the key space is exhausted.
+  virtual std::vector<long> ascend(long from, std::size_t limit) = 0;
+
   virtual OpCounters counters() const = 0;
 };
 

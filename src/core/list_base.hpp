@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -322,18 +323,119 @@ WalkPos<Node> anchored_walk(ReclaimHandle& rh, long key, StartFn&& start_node,
 
 }  // namespace hazard
 
+/// Ordered range scans shared by every marked-pointer list. `Node`
+/// must expose `key` and a MarkPtr<Node> `next`. Three protocols, one
+/// per reclamation capability (docs/ARCHITECTURE.md spells out the
+/// safety arguments):
+///
+///   * arena  -- plain_scan, no protection: addresses are stable for
+///     the list's lifetime, so the walk may dawdle freely.
+///   * EBR    -- plain_scan inside ONE epoch pin covering the whole
+///     scan (the caller's guard): nothing retired after the pin can be
+///     freed until the scan unpins. Long scans therefore hold the
+///     reclamation horizon -- the cost bench_scan prices against HP.
+///   * HP     -- hazard_scan: the anchored-validation walk from
+///     anchored_walk(), generalized to emit along the way. Per-step
+///     publish + anchor revalidation, restart from the head on a lost
+///     anchor, resuming *after* the last key already observed (the
+///     restart invariant: no key is emitted twice, and each key of the
+///     range is observed exactly once, at increasing positions).
+///
+/// All three skip marked nodes and never CAS: a scan is read-only even
+/// on the draconic variants.
+namespace scan {
+
+/// Emit live keys in [from, hi] ascending, stopping after `limit`
+/// emissions (limit < 0 = unbounded). Returns the number emitted.
+/// Safe whenever node addresses stay valid for the walk's duration:
+/// under the arena always, under EBR inside the caller's epoch pin,
+/// and quiescently everywhere (snapshot() reuses it).
+template <typename Node, typename Sink>
+long plain_scan(const Node* head, long from, long hi, long limit,
+                Sink&& sink) {
+  long emitted = 0;
+  for (const Node* n = head->next.load_ptr(); n != nullptr;) {
+    const auto v = n->next.load();
+    if (!v.marked) {
+      if (n->key > hi || (limit >= 0 && emitted >= limit)) break;
+      if (n->key >= from) {
+        sink(n->key);
+        ++emitted;
+      }
+    }
+    n = v.ptr;
+  }
+  return emitted;
+}
+
+/// The hazard-pointer scan protocol. Walks with the anchored-validation
+/// slot discipline of hazard::anchored_walk (kAnchor / kWalk / kRun;
+/// the persistent kCursor cell is never touched, so a scan cannot
+/// disturb the owning engine's cursor). On any failed anchor
+/// revalidation the walk restarts from the head but only resumes
+/// emitting past `next_from`, the successor of the last emitted key --
+/// re-walked prefix keys were already observed in an earlier pass, so
+/// observation instants still increase along the key space.
+template <typename Node, typename ReclaimHandle, typename Sink>
+long hazard_scan(ReclaimHandle& rh, Node* head, long from, long hi,
+                 long limit, Sink&& sink) {
+  long emitted = 0;
+  long next_from = from;  // first key position not yet observed
+  for (;;) {
+    bool restart = false;
+    Node* prev = head;  // the head sentinel is never marked
+    rh.protect(hazard::kAnchor, prev);
+    Node* left_next = prev->next.load().ptr;
+    Node* cur = left_next;
+    while (cur != nullptr) {
+      rh.protect(hazard::kWalk, cur);
+      {
+        // Anchor revalidation: run still attached => cur not retired
+        // before the hazard above became visible.
+        const auto av = prev->next.load();
+        if (av.marked || av.ptr != left_next) {
+          restart = true;
+          break;
+        }
+      }
+      const auto cv = cur->next.load();
+      if (cv.marked) {
+        // Entering a dead run: pin its head for the run's duration
+        // (same ABA argument as anchored_walk).
+        if (cur == left_next) rh.protect(hazard::kRun, cur);
+        cur = cv.ptr;
+        continue;
+      }
+      if (cur->key > hi || (limit >= 0 && emitted >= limit)) return emitted;
+      if (cur->key >= next_from) {
+        sink(cur->key);
+        ++emitted;
+        if (cur->key == hi) return emitted;  // also dodges +1 overflow
+        next_from = cur->key + 1;
+      }
+      prev = cur;
+      rh.protect(hazard::kAnchor, cur);  // kWalk still covers cur
+      left_next = cv.ptr;
+      cur = cv.ptr;
+    }
+    if (!restart) return emitted;  // clean end of chain
+  }
+}
+
+}  // namespace scan
+
 /// Quiescent walkers shared by the list variants. `Node` must expose
 /// `key` and a MarkPtr<Node> `next`.
 namespace quiescent {
 
 template <typename Node>
 std::vector<long> snapshot(const Node* head) {
+  // The full-range scan IS the quiescent snapshot walk; keep one
+  // traversal, not two.
   std::vector<long> keys;
-  for (const Node* n = head->next.load_ptr(); n != nullptr;) {
-    const auto v = n->next.load();
-    if (!v.marked) keys.push_back(n->key);
-    n = v.ptr;
-  }
+  scan::plain_scan(head, std::numeric_limits<long>::min(),
+                   std::numeric_limits<long>::max(), /*limit=*/-1,
+                   [&](long k) { keys.push_back(k); });
   return keys;
 }
 

@@ -100,6 +100,17 @@ class SinglyFamilyList {
       ctr_.cons += ok;
       return ok;
     }
+    long range_scan(long lo, long hi, const KeySink& sink) {
+      return counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive: the sharded k-way merge drives this
+    /// per shard and counts once per logical scan at the set level.
+    long scan_raw(long from, long hi, long limit, const KeySink& sink) {
+      return list_->do_scan(*this, from, hi, limit, sink);
+    }
     const OpCounters& counters() const { return ctr_; }
 
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
@@ -408,6 +419,21 @@ class SinglyFamilyList {
       update_cursor(h, prev);
       return cur != nullptr && cur->key == key;
     }
+  }
+
+  /// The scan primitive behind range_scan()/ascend(): emit live keys
+  /// in [from, hi], at most `limit` (< 0 = unbounded). Protocol per
+  /// policy: the arena walks freely, EBR pins once for the whole scan
+  /// (the guard below), HP runs the re-anchoring hazard scan. Scans
+  /// are read-only on every variant -- even the draconic one -- and
+  /// never touch the handle's cursor.
+  long do_scan(Handle& h, long from, long hi, long limit,
+               const KeySink& sink) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    if constexpr (kHazards)
+      return scan::hazard_scan(*h.rh_, head_, from, hi, limit, sink);
+    else
+      return scan::plain_scan(head_, from, hi, limit, sink);
   }
 
   /// The mild contains under HP: still CAS-free (read-only walk), but

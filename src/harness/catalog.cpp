@@ -50,6 +50,12 @@ class SetAdapter final : public core::ISet {
     bool add(long key) override { return h_.add(key); }
     bool remove(long key) override { return h_.remove(key); }
     bool contains(long key) override { return h_.contains(key); }
+    long range_scan(long lo, long hi, const core::KeySink& sink) override {
+      return h_.range_scan(lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) override {
+      return h_.ascend(from, limit);
+    }
     core::OpCounters counters() const override { return h_.counters(); }
 
    private:

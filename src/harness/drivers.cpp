@@ -1,5 +1,6 @@
 #include "src/harness/drivers.hpp"
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,17 @@
 #include "src/workload/rng.hpp"
 
 namespace pragmalist::harness {
+
+long checked_range_scan(core::ISetHandle& h, long lo, long hi) {
+  struct ScanState {
+    long lo, hi, last;
+  } s{lo, hi, std::numeric_limits<long>::min()};
+  return h.range_scan(lo, hi, [&s](long k) {
+    PRAGMALIST_CHECK(k >= s.lo && k <= s.hi && k > s.last,
+                     "scan emitted an out-of-order or out-of-range key");
+    s.last = k;
+  });
+}
 
 RunResult run_deterministic(core::ISet& set, int p, long n,
                             workload::KeySchedule sched, bool pin) {
@@ -34,13 +46,18 @@ RunResult run_deterministic(core::ISet& set, int p, long n,
 
 RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
                          long universe, workload::OpMix mix,
-                         std::uint64_t seed, bool pin, KeyDist dist) {
+                         std::uint64_t seed, bool pin, KeyDist dist,
+                         workload::ScanWidths widths) {
   PRAGMALIST_CHECK(prefill <= universe,
                    "cannot prefill more distinct keys than the universe");
-  PRAGMALIST_CHECK(mix.add_pct >= 0 && mix.rem_pct >= 0 &&
-                       mix.con_pct >= 0 &&
-                       mix.add_pct + mix.rem_pct + mix.con_pct == 100,
-                   "op mix percentages must be non-negative and sum to 100");
+  PRAGMALIST_CHECK(
+      mix.add_pct >= 0 && mix.rem_pct >= 0 && mix.con_pct >= 0 &&
+          mix.scan_pct >= 0 &&
+          mix.add_pct + mix.rem_pct + mix.con_pct + mix.scan_pct == 100,
+      "op mix percentages must be non-negative and sum to 100");
+  PRAGMALIST_CHECK(widths.min_width >= 1 &&
+                       widths.max_width >= widths.min_width,
+                   "scan widths must satisfy 1 <= min <= max");
   {
     // Prefill on a scratch handle whose counters stay out of the
     // aggregate: the population ledger is prefill + adds - rems.
@@ -80,6 +97,9 @@ RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
               break;
             case workload::OpKind::kContains:
               handle->contains(key);
+              break;
+            case workload::OpKind::kScan:
+              checked_range_scan(*handle, key, key + widths.pick(rng) - 1);
               break;
           }
         }

@@ -45,9 +45,22 @@ struct KeyDist {
 RunResult run_deterministic(core::ISet& set, int p, long n,
                             workload::KeySchedule sched, bool pin);
 
+/// Execute one range scan with the emission contract checked on every
+/// key (ascending, inside [lo, hi]); aborts via PRAGMALIST_CHECK on a
+/// violation. Both workload drivers (random mix and soak) issue their
+/// scan ops through this, so no driver can report numbers from a
+/// misbehaving scan.
+long checked_range_scan(core::ISetHandle& h, long lo, long hi);
+
+/// `widths` is the range-width distribution for scan operations (only
+/// consulted when mix.scan_pct > 0): a scan op draws its key like any
+/// other op and reads [key, key + width - 1]. Every scan's emission is
+/// checked in-line (ascending, in range) -- a scan bug aborts the run
+/// rather than producing numbers.
 RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
                          long universe, workload::OpMix mix,
                          std::uint64_t seed, bool pin,
-                         KeyDist dist = KeyDist::uniform());
+                         KeyDist dist = KeyDist::uniform(),
+                         workload::ScanWidths widths = {});
 
 }  // namespace pragmalist::harness

@@ -99,15 +99,28 @@ std::string Options::get_string(const std::string& name,
   return flag->value;
 }
 
-std::vector<long> Options::get_long_list(const std::string& name,
-                                         const std::vector<long>& def) const {
+namespace {
+
+/// The one comma splitter behind every list-valued flag: non-empty
+/// items of `value`, in order.
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> items;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) items.push_back(item);
+  return items;
+}
+
+}  // namespace
+
+std::vector<long> Options::get_longs(const std::string& name,
+                                     const std::vector<long>& def) const {
   const Flag* flag = lookup(name);
   if (flag == nullptr || !flag->has_value) return def;
   std::vector<long> values;
-  std::stringstream ss(flag->value);
-  std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) values.push_back(parse_long_or_warn(name, item, 0));
+  for (const auto& item : split_commas(flag->value))
+    values.push_back(parse_long_or_warn(name, item, 0));
   return values.empty() ? def : values;
 }
 
@@ -115,11 +128,7 @@ std::vector<std::string> Options::get_string_list(
     const std::string& name, const std::vector<std::string>& def) const {
   const Flag* flag = lookup(name);
   if (flag == nullptr || !flag->has_value) return def;
-  std::vector<std::string> values;
-  std::stringstream ss(flag->value);
-  std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) values.push_back(item);
+  std::vector<std::string> values = split_commas(flag->value);
   return values.empty() ? def : values;
 }
 

@@ -28,9 +28,14 @@ class Options {
   std::string get_string(const std::string& name,
                          const std::string& def) const;
 
-  /// Comma-separated list of longs (e.g. --threads 1,2,4), or `def`.
-  std::vector<long> get_long_list(const std::string& name,
-                                  const std::vector<long>& def) const;
+  /// Comma-separated list of longs (e.g. --threads 1,2,4), or `def`
+  /// when the flag is absent, bare, or yields no items. Empty items
+  /// ("1,,2") are skipped; non-integer items warn and parse as 0 (the
+  /// same contract as get_long). One splitter serves this and
+  /// get_string_list -- the comma-list parsing the bench binaries used
+  /// to hand-roll lives here exactly once.
+  std::vector<long> get_longs(const std::string& name,
+                              const std::vector<long>& def) const;
 
   /// Comma-separated list of strings (e.g. --ids a,b/ebr), or `def`.
   std::vector<std::string> get_string_list(

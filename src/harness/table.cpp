@@ -31,12 +31,14 @@ void print_paper_table(std::ostream& os, const std::string& title,
 }
 
 void write_csv(std::ostream& os, const std::vector<TableRow>& rows) {
-  os << "variant,ms,ops,kops_per_sec,adds,rems,con_hits\n";
+  os << "variant,ms,ops,kops_per_sec,adds,rems,con_hits,scan_calls,"
+        "scanned_keys\n";
   for (const auto& row : rows) {
     const auto& r = row.result;
     os << row.label << ',' << r.ms << ',' << r.total_ops << ','
        << r.kops_per_sec() << ',' << r.agg.adds << ',' << r.agg.rems << ','
-       << r.agg.cons << "\n";
+       << r.agg.cons << ',' << r.agg.scan_calls << ',' << r.agg.scans
+       << "\n";
   }
 }
 

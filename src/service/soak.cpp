@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/debug.hpp"
+#include "src/harness/drivers.hpp"
 #include "src/harness/thread_team.hpp"
 #include "src/workload/distributions.hpp"
 #include "src/workload/rng.hpp"
@@ -92,6 +93,10 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
           break;
         case workload::OpKind::kContains:
           handle->contains(key);
+          break;
+        case workload::OpKind::kScan:
+          harness::checked_range_scan(*handle, key,
+                                      key + cfg.scan_widths.pick(rng) - 1);
           break;
       }
       // Batch the shared-counter bump so sampling does not serialize

@@ -30,6 +30,12 @@ struct SoakConfig {
   long universe = 1024;    // key range [0, universe)
   long prefill = 256;      // distinct keys inserted before the clock
   workload::OpMix mix = workload::kScalingMix;  // 25/25/50
+  // Range-width distribution for scan ops (consulted when
+  // mix.scan_pct > 0): a scan draws its key like any other op and
+  // reads [key, key + width - 1]. Long scans are exactly what makes
+  // EBR's one-pin-per-scan and HP's per-step re-anchoring diverge in
+  // the limbo series.
+  workload::ScanWidths scan_widths;
   std::uint64_t seed = 42;
   bool pin = false;
   // 0 = uniform keys; > 0 draws keys Zipf(theta), so a sharded set's

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -59,8 +60,35 @@ class ShardedSet {
     bool contains(long key) {
       return handles_[set_->shard_of(key)].contains(key);
     }
+
+    // A global ordered scan over a hash partition is a k-way merge:
+    // every shard holds an arbitrary subset of [lo, hi], so each shard
+    // contributes an ascending cursor (paged through the engines'
+    // uncounted scan_raw primitive) and the merge emits the minimum
+    // across cursors. All per-shard pages run under this worker's ONE
+    // borrowed reclaim handle, one page at a time -- under EBR each
+    // page is one epoch pin (the merge never holds a pin across the
+    // whole scan), under HP each page re-anchors per step as usual.
+    // Keys are unique across shards (the partition routes each key to
+    // exactly one shard), so the merge needs no duplicate handling.
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, scan_ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, scan_ctr_, from, limit);
+    }
+    /// Uncounted merge primitive (the counted forms above delegate
+    /// here, like every engine handle's scan_raw).
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      return merge_scan(from, hi, limit, sink);
+    }
+
     core::OpCounters counters() const {
-      core::OpCounters agg;
+      // Point ops live in the per-shard engine ledgers; scans are
+      // whole-set operations counted here (never per shard, which
+      // would inflate scan_calls by the page fan-out).
+      core::OpCounters agg = scan_ctr_;
       for (const auto& h : handles_) agg += h.counters();
       return agg;
     }
@@ -93,12 +121,73 @@ class ShardedSet {
         handles_.push_back(engine->make_handle(*rh_));
     }
 
+    /// Keys per scan_raw page. Large enough that refills are rare on
+    /// realistic widths, small enough that a page (one EBR pin) never
+    /// pins the epoch for long.
+    static constexpr long kScanPage = 64;
+
+    struct ShardCursor {
+      std::vector<long> page;
+      std::size_t idx = 0;
+      long next_from = 0;
+      bool drained = false;  // shard has nothing further in range
+    };
+
+    void refill(std::size_t s, ShardCursor& c, long hi) {
+      c.page.clear();
+      c.idx = 0;
+      handles_[s].scan_raw(c.next_from, hi, kScanPage,
+                           [&](long k) { c.page.push_back(k); });
+      // A short page means the shard's range is exhausted; a full page
+      // ending on hi must not advance past it (hi may be LONG_MAX).
+      if (c.page.size() < static_cast<std::size_t>(kScanPage) ||
+          c.page.back() >= hi)
+        c.drained = true;
+      else
+        c.next_from = c.page.back() + 1;
+    }
+
+    long merge_scan(long from, long hi, long limit,
+                    const core::KeySink& sink) {
+      const std::size_t n = handles_.size();
+      std::vector<ShardCursor> cursors(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        cursors[s].next_from = from;
+        refill(s, cursors[s], hi);
+      }
+      long emitted = 0;
+      while (limit < 0 || emitted < limit) {
+        // Linear min across the cursor heads: shard counts are small
+        // (typically <= 16), so a heap would cost more than it saves.
+        std::size_t best = n;
+        for (std::size_t s = 0; s < n; ++s) {
+          const ShardCursor& c = cursors[s];
+          if (c.idx >= c.page.size()) continue;
+          if (best == n ||
+              c.page[c.idx] < cursors[best].page[cursors[best].idx])
+            best = s;
+        }
+        if (best == n) break;  // every cursor drained
+        ShardCursor& c = cursors[best];
+        sink(c.page[c.idx]);
+        ++emitted;
+        // Refill only if more output is still wanted: when the
+        // limit-th key was a page's last entry, a fresh page (a whole
+        // scan_raw walk, one EBR pin) would be fetched and discarded.
+        if (++c.idx >= c.page.size() && !c.drained &&
+            (limit < 0 || emitted < limit))
+          refill(best, c, hi);
+      }
+      return emitted;
+    }
+
     ShardedSet* set_;
     // Heap-held so the borrowed pointers inside the engine handles
     // survive moves of this Handle. Declared before handles_: borrowers
     // are destroyed before the handle they borrow.
     std::unique_ptr<ReclaimHandle> rh_;
     std::vector<typename Engine::Handle> handles_;
+    core::OpCounters scan_ctr_;  // whole-set scan ledger (see counters)
   };
 
   explicit ShardedSet(int shards) : domain_(std::make_shared<Reclaim>()) {

@@ -62,6 +62,17 @@ class SkipListT {
       ctr_.cons += ok;
       return ok;
     }
+    long range_scan(long lo, long hi, const core::KeySink& sink) {
+      return core::counted_range_scan(*this, ctr_, lo, hi, sink);
+    }
+    std::vector<long> ascend(long from, std::size_t limit) {
+      return core::counted_ascend(*this, ctr_, from, limit);
+    }
+    /// Uncounted paging primitive (mirrors the list engines' surface).
+    long scan_raw(long from, long hi, long limit,
+                  const core::KeySink& sink) {
+      return list_->do_scan(from, hi, limit, sink);
+    }
     const core::OpCounters& counters() const { return ctr_; }
 
    private:
@@ -130,12 +141,11 @@ class SkipListT {
   }
 
   std::vector<long> snapshot() const {
+    // The quiescent snapshot is the full-range scan walk.
     std::vector<long> keys;
-    for (const Node* n = head_->next[0].load_ptr(); n != nullptr;) {
-      const auto v = n->next[0].load();
-      if (!v.marked) keys.push_back(n->key);
-      n = v.ptr;
-    }
+    do_scan(std::numeric_limits<long>::min(),
+            std::numeric_limits<long>::max(), /*limit=*/-1,
+            [&](long k) { keys.push_back(k); });
     return keys;
   }
 
@@ -273,6 +283,44 @@ class SkipListT {
     }
     find(key);  // sweep the carcass off every level
     return true;
+  }
+
+  /// The scan primitive behind range_scan()/ascend(): O(log n) index
+  /// descent to a level-0 predecessor of `from` (read-only, stepping
+  /// over marked nodes -- no CAS even in the draconic flavor), then a
+  /// level-0 walk emitting live keys in [from, hi], at most `limit`
+  /// (< 0 = unbounded). Arena reclamation makes the free walk safe: a
+  /// node unlinked mid-scan stays allocated and its frozen next still
+  /// leads onward, so keys stay strictly ascending.
+  long do_scan(long from, long hi, long limit,
+               const core::KeySink& sink) const {
+    const Node* pred = head_;
+    for (int lvl = kMaxHeight - 1; lvl >= 1; --lvl) {
+      const Node* cur = pred->next[lvl].load_ptr();
+      while (cur != nullptr) {
+        const auto cv = cur->next[lvl].load();
+        if (cv.marked) {
+          cur = cv.ptr;
+          continue;
+        }
+        if (cur->key >= from) break;
+        pred = cur;
+        cur = cv.ptr;
+      }
+    }
+    long emitted = 0;
+    for (const Node* n = pred->next[0].load_ptr(); n != nullptr;) {
+      const auto v = n->next[0].load();
+      if (!v.marked) {
+        if (n->key > hi || (limit >= 0 && emitted >= limit)) break;
+        if (n->key >= from) {
+          sink(n->key);
+          ++emitted;
+        }
+      }
+      n = v.ptr;
+    }
+    return emitted;
   }
 
   bool do_contains(long key) {

@@ -1,30 +1,51 @@
 // Operation mixes for the random benchmarks: the paper's table mix
 // (10% add / 10% remove / 80% contains) and the scaling-figure mix
-// (25/25/50).
+// (25/25/50), plus a scan fraction (range reads, default 0 so the
+// paper mixes are untouched) with a range-width distribution.
 #pragma once
 
 #include "src/workload/rng.hpp"
 
 namespace pragmalist::workload {
 
-enum class OpKind { kAdd, kRemove, kContains };
+enum class OpKind { kAdd, kRemove, kContains, kScan };
 
 struct OpMix {
   int add_pct = 10;
   int rem_pct = 10;
   int con_pct = 80;
+  int scan_pct = 0;
 
   OpKind pick(Rng& rng) const {
+    // Band order add/rem/scan/contains: with scan_pct == 0 the rolls
+    // map exactly as they always did, so pre-scan workload streams
+    // (and their golden tests) are bit-identical.
     const auto roll = static_cast<int>(rng.below(100));
     if (roll < add_pct) return OpKind::kAdd;
     if (roll < add_pct + rem_pct) return OpKind::kRemove;
+    if (roll < add_pct + rem_pct + scan_pct) return OpKind::kScan;
     return OpKind::kContains;
   }
 };
 
+/// Range-width distribution for scan operations: widths drawn
+/// uniformly in [min_width, max_width] (inclusive). A scan op draws a
+/// key like any other op and reads [key, key + width - 1].
+struct ScanWidths {
+  long min_width = 1;
+  long max_width = 64;
+
+  long pick(Rng& rng) const {
+    if (max_width <= min_width) return min_width;
+    return min_width + static_cast<long>(rng.below(
+                           static_cast<std::uint64_t>(max_width - min_width) +
+                           1));
+  }
+};
+
 /// Tables 1-9 mix: read mostly.
-inline constexpr OpMix kTableMix{10, 10, 80};
+inline constexpr OpMix kTableMix{10, 10, 80, 0};
 /// Figures 1-3 mix: update heavy.
-inline constexpr OpMix kScalingMix{25, 25, 50};
+inline constexpr OpMix kScalingMix{25, 25, 50, 0};
 
 }  // namespace pragmalist::workload

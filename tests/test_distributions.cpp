@@ -101,22 +101,55 @@ TEST(Zipf, EveryKeyInRangeAndHeadDominates) {
 TEST(OpMix, RatiosWithinToleranceForAllMixes) {
   for (const auto& mix :
        {workload::kTableMix, workload::kScalingMix, workload::OpMix{50, 50, 0},
-        workload::OpMix{0, 0, 100}}) {
+        workload::OpMix{0, 0, 100}, workload::OpMix{20, 20, 30, 30},
+        workload::OpMix{10, 10, 30, 50}}) {
     workload::Rng rng(23);
     constexpr int kDraws = 100000;
-    int add = 0, rem = 0, con = 0;
+    int add = 0, rem = 0, con = 0, scan = 0;
     for (int i = 0; i < kDraws; ++i) {
       switch (mix.pick(rng)) {
         case workload::OpKind::kAdd: ++add; break;
         case workload::OpKind::kRemove: ++rem; break;
         case workload::OpKind::kContains: ++con; break;
+        case workload::OpKind::kScan: ++scan; break;
       }
     }
     const double tol = 0.01 * kDraws;  // one percentage point
     EXPECT_NEAR(add, kDraws * mix.add_pct / 100, tol) << mix.add_pct;
     EXPECT_NEAR(rem, kDraws * mix.rem_pct / 100, tol) << mix.rem_pct;
     EXPECT_NEAR(con, kDraws * mix.con_pct / 100, tol) << mix.con_pct;
+    EXPECT_NEAR(scan, kDraws * mix.scan_pct / 100, tol) << mix.scan_pct;
   }
+}
+
+// A zero scan share must leave the op stream bit-identical to the
+// pre-scan mixes (the scan band sits between remove and contains, so
+// scan_pct == 0 collapses it): golden determinism for every existing
+// workload.
+TEST(OpMix, ZeroScanShareKeepsTheLegacyStream) {
+  workload::Rng a(31), b(31);
+  const workload::OpMix legacy{25, 25, 50};         // scan_pct defaults to 0
+  const workload::OpMix explicit0{25, 25, 50, 0};
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_EQ(static_cast<int>(legacy.pick(a)),
+              static_cast<int>(explicit0.pick(b)));
+}
+
+TEST(ScanWidths, UniformInClosedRange) {
+  workload::Rng rng(37);
+  const workload::ScanWidths w{4, 19};
+  std::vector<int> seen(32, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const long width = w.pick(rng);
+    ASSERT_GE(width, 4);
+    ASSERT_LE(width, 19);
+    ++seen[static_cast<std::size_t>(width)];
+  }
+  for (long width = 4; width <= 19; ++width)
+    EXPECT_GT(seen[static_cast<std::size_t>(width)], 0) << width;
+  // Degenerate distribution: min == max is a constant.
+  const workload::ScanWidths fixed{8, 8};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fixed.pick(rng), 8);
 }
 
 TEST(OpMix, SameSeedSameOpStream) {

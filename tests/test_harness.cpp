@@ -43,10 +43,31 @@ TEST(Options, GetStringReturnsRawValueOrDefault) {
 
 TEST(Options, ParsesLongLists) {
   const auto opt = parse({"--threads", "1,2,4,8"});
-  EXPECT_EQ(opt.get_long_list("threads", {}),
+  EXPECT_EQ(opt.get_longs("threads", {}),
             (std::vector<long>{1, 2, 4, 8}));
-  EXPECT_EQ(opt.get_long_list("missing", {3, 5}),
+  EXPECT_EQ(opt.get_longs("missing", {3, 5}),
             (std::vector<long>{3, 5}));
+}
+
+TEST(Options, GetLongsSkipsEmptyItemsAndZerosBadOnes) {
+  // Stray commas are skipped; non-integer items warn and parse as 0
+  // (the get_long contract, item-wise); an all-empty value falls back
+  // to the default, as do bare flags.
+  const auto opt = parse({"--shards", "1,,4,", "--bad", "x,2", "--none=,,"});
+  EXPECT_EQ(opt.get_longs("shards", {}), (std::vector<long>{1, 4}));
+  EXPECT_EQ(opt.get_longs("bad", {}), (std::vector<long>{0, 2}));
+  EXPECT_EQ(opt.get_longs("none", {7}), (std::vector<long>{7}));
+  const auto bare = parse({"--shards"});
+  EXPECT_EQ(bare.get_longs("shards", {9}), (std::vector<long>{9}));
+}
+
+TEST(Options, ListFlavorsShareOneSplitter) {
+  // get_longs and get_string_list are the same comma splitter; the
+  // string view of a numeric list tokenizes identically.
+  const auto opt = parse({"--xs", "10,,20,30,"});
+  EXPECT_EQ(opt.get_longs("xs", {}), (std::vector<long>{10, 20, 30}));
+  EXPECT_EQ(opt.get_string_list("xs", {}),
+            (std::vector<std::string>{"10", "20", "30"}));
 }
 
 TEST(Catalog, PaperVariantsAreTheSixRows) {
@@ -120,20 +141,25 @@ TEST(Distributions, ZipfIsSkewedAndInRange) {
 
 TEST(OpMix, PercentagesAreRespected) {
   workload::Rng rng(13);
-  const workload::OpMix mix{25, 25, 50};
-  int add = 0, rem = 0, con = 0;
+  const workload::OpMix mix{25, 25, 40, 10};
+  int add = 0, rem = 0, con = 0, scan = 0;
   for (int i = 0; i < 40000; ++i) {
     switch (mix.pick(rng)) {
       case workload::OpKind::kAdd: ++add; break;
       case workload::OpKind::kRemove: ++rem; break;
       case workload::OpKind::kContains: ++con; break;
+      case workload::OpKind::kScan: ++scan; break;
     }
   }
   EXPECT_NEAR(add, 10000, 600);
   EXPECT_NEAR(rem, 10000, 600);
-  EXPECT_NEAR(con, 20000, 800);
+  EXPECT_NEAR(con, 16000, 800);
+  EXPECT_NEAR(scan, 4000, 400);
   EXPECT_EQ(workload::kTableMix.con_pct, 80);
   EXPECT_EQ(workload::kScalingMix.add_pct, 25);
+  // The paper mixes never scan; their streams stay golden.
+  EXPECT_EQ(workload::kTableMix.scan_pct, 0);
+  EXPECT_EQ(workload::kScalingMix.scan_pct, 0);
 }
 
 TEST(Schedule, SameAndDisjointKeys) {

@@ -10,6 +10,8 @@
 // `sanitizer`).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -192,6 +194,73 @@ TEST(HandleLifecycle, ShardedWorkersCostOneSlotNotOnePerShard) {
               static_cast<std::size_t>(kWorkers) * 400 + kUniverse)
         << id;
   }
+}
+
+// Long-running scans under churn: one thread runs continuous
+// full-range range_scan() passes and another pages with ascend()
+// while the remaining threads hammer insert/delete. Scans hold an
+// epoch pin for their whole pass under EBR and re-anchor per step
+// under HP; a reclamation bug -- a node freed while a scan can still
+// reach it -- is a use-after-free the sanitizer tier (ASan/TSan re-run
+// this label) catches on the spot, while the in-sink checks catch any
+// ordering violation in every build. Covers the whole reclaim grid
+// plus its sh4 sharded counterpart (where the scanner is the k-way
+// merge over one shared domain).
+TEST_P(EveryReclaimCombo, LongRunningScansNeverObserveAFreedNode) {
+  auto set = harness::make_set(GetParam());
+  std::atomic<int> churners{kThreads};
+  harness::run_team(
+      kThreads + 2,
+      [&](int t) {
+        auto h = set->make_handle();
+        workload::Rng rng(workload::thread_seed(4000, t));
+        if (t < kThreads) {
+          for (long i = 0; i < kOpsPerPhase; ++i) {
+            const long k = static_cast<long>(rng.below(kUniverse));
+            if (rng.below(2) == 0)
+              h->add(k);
+            else
+              h->remove(k);
+          }
+          churners.fetch_sub(1, std::memory_order_release);
+        } else if (t == kThreads) {
+          // Full-range scanner: every emitted key must be in range and
+          // strictly ascending within its pass, no matter how much was
+          // retired and freed under the walk.
+          long passes = 0;
+          do {
+            long last = std::numeric_limits<long>::min();
+            h->range_scan(0, kUniverse - 1, [&](long k) {
+              EXPECT_TRUE(k >= 0 && k < kUniverse && k > last)
+                  << "scan emitted " << k << " after " << last;
+              last = k;
+            });
+            ++passes;
+          } while (churners.load(std::memory_order_acquire) != 0);
+          EXPECT_GT(passes, 0);
+        } else {
+          // Pager: ascend() in small pages, restarting from the bottom
+          // whenever the key space is exhausted.
+          long from = 0;
+          do {
+            const std::vector<long> page = h->ascend(from, 8);
+            long last = from - 1;
+            for (const long k : page) {
+              EXPECT_TRUE(k >= from && k < kUniverse && k > last)
+                  << "page emitted " << k << " after " << last
+                  << " (from " << from << ")";
+              last = k;
+            }
+            from = (page.size() < 8) ? 0 : page.back() + 1;
+          } while (churners.load(std::memory_order_acquire) != 0);
+        }
+      },
+      /*pin=*/false);
+
+  std::string err;
+  ASSERT_TRUE(set->validate(&err)) << err;
+  drain_quiescent(*set);
+  EXPECT_LE(set->allocated_nodes(), footprint_bound(1));
 }
 
 // Regression for the satellite fix: validate() must hold at a

@@ -68,7 +68,7 @@ TEST(ShardMap, RoughlyUniformOverDenseKeys) {
 // --- aggregation over the catalog ------------------------------------
 
 TEST(ShardedSet, MembershipAndSnapshotMatchAnUnshardedOracle) {
-  for (const std::string id :
+  for (const auto& id :
        {std::string("singly/ebr/sh4"), std::string("singly_cursor/hp/sh4"),
         std::string("doubly_cursor/sh8")}) {
     auto sharded = harness::make_set(id);
