@@ -1,0 +1,145 @@
+// Tail-latency sweep -- the bench the histogram layer exists for.
+// Throughput means cannot distinguish the pragmatic variants' trade
+// (cheap common-case ops, occasional long revalidation walks) from a
+// uniformly slower structure; p99/p999/max can. Two modes:
+//
+//   * default (throughput mode): back-to-back ops via run_random_mix,
+//     latency = observed start -> completion. Prices the op itself.
+//   * --rate R (fixed-rate, coordinated-omission-aware): each worker
+//     issues R intended ops/s on an absolute schedule and latency is
+//     measured from the *intended* start, so when an op stalls (a long
+//     revalidation walk, an HP re-anchor storm), the ops queued behind
+//     it record their waiting time instead of silently not existing.
+//     This is the service-eye view: a client's request does not care
+//     that the worker was busy.
+//
+// The grid: each selected variant x arena/ebr/hp x every requested
+// shard count, per-op-class (add/remove/contains/scan) percentiles.
+// The binary self-checks p50 <= p99 <= p999 <= max on every non-empty
+// class (and the CI smoke re-asserts it on the CSV), and every run
+// still validates the structure and the population ledger -- no
+// numbers from a broken set.
+//
+//   bench_latency [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
+//                 [--variants b,f | ids | all] [--shards 1,4]
+//                 [--scan-frac PCT] [--scan-width W]
+//                 [--rate OPS_PER_SEC_PER_THREAD] [--no-pin]
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/harness/drivers.hpp"
+#include "src/workload/op_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pragmalist;
+  const auto opt = harness::Options::parse(argc, argv);
+  const int p = bench::default_threads(opt, 16);
+  const long c = opt.get_long("c", 25000);
+  const long universe = opt.get_long("u", 4096);
+  const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 42));
+  const bool pin = !opt.get_bool("no-pin");
+  const double rate = opt.get_double("rate", 0.0);
+  const int scan_frac = opt.get_int("scan-frac", 10);
+  const workload::ScanWidths widths = bench::scan_widths(opt);
+  // Update-heavy base so every class has samples; scans carved from
+  // the contains share like bench_scan/bench_soak.
+  const workload::OpMix mix = bench::with_scans(workload::kScalingMix,
+                                                scan_frac);
+
+  PRAGMALIST_CHECK(harness::kLatencyCompiled,
+                   "bench_latency needs -DPRAGMALIST_LATENCY=ON");
+
+  // --variants takes paper row letters or ids, default rows b and f
+  // (the pragmatic baseline and the paper's best all-round variant).
+  std::vector<std::string_view> variants;
+  {
+    const std::vector<std::string> tokens =
+        opt.get_string_list("variants", {"b", "f"});
+    const bool all = tokens.size() == 1 && tokens.front() == "all";
+    for (const std::string_view id : harness::paper_variant_ids()) {
+      bool wanted = all;
+      for (const auto& tok : tokens)
+        wanted |= tok == id || tok == harness::variant_letter(id);
+      if (wanted) variants.push_back(id);
+    }
+    PRAGMALIST_CHECK(!variants.empty(),
+                     "--variants matched none of the paper rows a-f");
+  }
+  const std::vector<long> shard_counts = opt.get_longs("shards", {1, 4});
+  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
+
+  std::cout << "Latency grid, p=" << p << ", c=" << c << ", u=" << universe
+            << ", mix " << mix.add_pct << "/" << mix.rem_pct << "/"
+            << mix.con_pct << "/" << mix.scan_pct << " (widths 1-"
+            << widths.max_width << "), mode=";
+  if (rate > 0.0)
+    std::cout << "fixed-rate " << std::fixed << std::setprecision(0) << rate
+              << " ops/s/worker (coordinated-omission-aware: latency from"
+              << " *intended* start)";
+  else
+    std::cout << "throughput (latency from observed start)";
+  std::cout << "\n\n";
+
+  std::vector<harness::LatencyRow> rows;
+  for (const auto v : variants) {
+    for (const auto r : reclaimers) {
+      const std::string base =
+          r == "arena" ? std::string(v)
+                       : std::string(v) + "/" + std::string(r);
+      for (const long n : shard_counts) {
+        if (n < 1) continue;
+        const std::string id =
+            n == 1 ? base : base + "/sh" + std::to_string(n);
+        auto set = harness::make_set(id);
+        harness::LatencyProfile lat;
+        long behind = 0;
+        harness::RunResult res;
+        if (rate > 0.0)
+          res = harness::run_fixed_rate(*set, p, c, /*prefill=*/1000,
+                                        universe, mix, seed, pin, rate, lat,
+                                        &behind, harness::KeyDist::uniform(),
+                                        widths);
+        else
+          res = harness::run_random_mix(*set, p, c, /*prefill=*/1000,
+                                        universe, mix, seed, pin,
+                                        harness::KeyDist::uniform(), widths,
+                                        &lat);
+        bench::check_valid(*set);
+        PRAGMALIST_CHECK(
+            static_cast<long>(set->size()) == 1000 + res.agg.adds -
+                res.agg.rems,
+            "population ledger does not balance after the run");
+        // Self-check the percentile ordering on every non-empty class;
+        // the CI smoke re-asserts this from the CSV.
+        for (int cls = 0; cls < harness::kNumOpClasses; ++cls) {
+          const auto& h = lat.of(static_cast<harness::OpClass>(cls));
+          if (h.count() == 0) continue;
+          PRAGMALIST_CHECK(h.percentile(0.50) <= h.percentile(0.99) &&
+                               h.percentile(0.99) <= h.percentile(0.999) &&
+                               h.percentile(0.999) <= h.max(),
+                           "percentiles are not monotone");
+        }
+        std::string label = id;
+        if (rate > 0.0) label += ":rate";
+        rows.push_back({std::move(label), lat});
+        if (rate > 0.0 && behind > 0)
+          std::cout << "(" << id << ": " << behind << " of "
+                    << res.total_ops << " ops started >= 1 period late)\n";
+      }
+    }
+  }
+
+  harness::print_latency_table(
+      std::cout, rate > 0.0 ? "Per-op-class latency (fixed-rate)"
+                            : "Per-op-class latency (throughput mode)",
+      rows);
+  std::ofstream csv("bench_latency.csv");
+  if (csv) {
+    harness::write_latency_csv(csv, rows);
+    std::cout << "\ncsv: bench_latency.csv\n";
+  }
+  return 0;
+}

@@ -22,8 +22,16 @@
 // after the run): the arena's grows with every insert, the reclaiming
 // schemes' stays near the live set.
 //
+// Every view also records per-op-class latency (p50..p999/max printed
+// as a table after the grid, full percentiles in
+// bench_reclaim_latency.csv): reclamation cost is a *tail* story --
+// an EBR collect pass or an HP anchored revalidation shows up at p999
+// long before it moves a mean. --no-latency restores the
+// clock-read-free op loop (the honest-throughput baseline; the smoke
+// grid regresses <= 3% vs pre-latency builds in that mode).
+//
 //   bench_reclaim [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
-//                 [--variants a,c,e | all] [--no-pin]
+//                 [--variants a,c,e | all] [--no-pin] [--no-latency]
 //                 [--shards 1,4,16] [--dist uniform|zipf] [--theta T]
 #include <iomanip>
 #include <iostream>
@@ -39,6 +47,7 @@ namespace {
 
 struct Cell {
   pragmalist::harness::RunResult result;
+  pragmalist::harness::LatencyProfile latency;
   std::size_t footprint = 0;
 };
 
@@ -54,6 +63,7 @@ int main(int argc, char** argv) {
   const bool pin = !opt.get_bool("no-pin");
   // Update-heavy mix to stress retirement: 25/25/50.
   const workload::OpMix mix = workload::kScalingMix;
+  const bool latency = bench::latency_enabled(opt);
 
   // --variants takes paper row letters (a,c,e) or ids, default all six.
   std::vector<std::string_view> variants;
@@ -75,8 +85,9 @@ int main(int argc, char** argv) {
   auto run_one = [&](std::string_view id) {
     auto set = harness::make_set(id);
     Cell cell;
-    cell.result = harness::run_random_mix(*set, p, c, /*f=*/1000, universe,
-                                          mix, seed, pin);
+    cell.result = harness::run_random_mix(
+        *set, p, c, /*f=*/1000, universe, mix, seed, pin,
+        harness::KeyDist::uniform(), {}, latency ? &cell.latency : nullptr);
     bench::check_valid(*set);
     cell.footprint = set->allocated_nodes();
     return cell;
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   std::vector<harness::TableRow> csv_rows;
+  std::vector<harness::LatencyRow> lat_rows;
   for (const auto v : variants) {
     std::cout << std::left << std::setw(22) << bench::row_label(v);
     for (const auto r : reclaimers) {
@@ -101,11 +113,17 @@ int main(int argc, char** argv) {
       std::cout << std::right << std::setw(12) << std::fixed
                 << std::setprecision(0) << cell.result.kops_per_sec()
                 << std::setw(10) << cell.footprint;
-      csv_rows.push_back({std::string(v) + "/" + std::string(r), cell.result});
+      const std::string label = std::string(v) + "/" + std::string(r);
+      if (latency) lat_rows.push_back({label, cell.latency});
+      csv_rows.push_back({label, cell.result});
     }
     std::cout << "\n";
   }
   std::cout << "\n";
+  if (!lat_rows.empty())
+    harness::print_latency_table(
+        std::cout, "Per-op-class latency, variant x reclaimer grid",
+        lat_rows);
 
   // --- view 2: reference rows ---------------------------------------
   std::vector<harness::TableRow> ref_rows;
@@ -146,8 +164,10 @@ int main(int argc, char** argv) {
           const std::string id =
               n == 1 ? base : base + "/sh" + std::to_string(n);
           auto set = harness::make_set(id);
+          harness::LatencyProfile lat;
           harness::RunResult res = harness::run_random_mix(
-              *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist);
+              *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist, {},
+              latency ? &lat : nullptr);
           bench::check_valid(*set);
           std::cout << std::left << std::setw(26) << base << std::right
                     << std::setw(6) << n << std::setw(12) << std::fixed
@@ -162,6 +182,7 @@ int main(int argc, char** argv) {
           std::string csv_label = base + "/sh" + std::to_string(n);
           if (dist.kind == harness::KeyDist::Kind::kZipf)
             csv_label += ":zipf";
+          if (latency) lat_rows.push_back({csv_label, lat});
           csv_rows.push_back({std::move(csv_label), res});
         }
       }
@@ -169,5 +190,6 @@ int main(int argc, char** argv) {
   }
 
   bench::emit_csv("bench_reclaim.csv", csv_rows);
+  bench::emit_latency_csv("bench_reclaim_latency.csv", lat_rows);
   return 0;
 }

@@ -22,10 +22,17 @@
 //   bench_scan [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
 //              [--variants b,f | ids | all] [--shards 1,4]
 //              [--scan-frac PCT] [--scan-width W] [--no-pin]
+//              [--no-latency]
 //
 // --scan-frac sets the scan share of the scan-heavy mix (default 40;
 // the point-heavy mix always runs 2% scans so both columns price the
 // same operation); widths are uniform in [1, --scan-width].
+//
+// Each row also reports the p99/p999 tail over all op classes (us) --
+// scans are precisely the op class whose cost hides in the tail, an
+// HP scan that loses its anchor restarts from the head -- and the
+// full per-op-class percentiles go to bench_scan_latency.csv.
+// --no-latency restores a clock-read-free op loop.
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -40,6 +47,7 @@ namespace {
 
 struct Cell {
   pragmalist::harness::RunResult result;
+  pragmalist::harness::LatencyProfile latency;
   std::size_t footprint = 0;
   std::size_t limbo = 0;
 };
@@ -69,6 +77,7 @@ int main(int argc, char** argv) {
   const bool pin = !opt.get_bool("no-pin");
   const int scan_frac = opt.get_int("scan-frac", 40);
   const workload::ScanWidths widths = bench::scan_widths(opt);
+  const bool latency = bench::latency_enabled(opt);
 
   // Both mixes start from the update-heavy 25/25/50 and carve the scan
   // share out of contains, so add/remove pressure is identical across
@@ -104,9 +113,10 @@ int main(int argc, char** argv) {
   auto run_one = [&](const std::string& id, const workload::OpMix& mix) {
     auto set = harness::make_set(id);
     Cell cell;
-    cell.result =
-        harness::run_random_mix(*set, p, c, /*f=*/1000, universe, mix, seed,
-                                pin, harness::KeyDist::uniform(), widths);
+    cell.result = harness::run_random_mix(
+        *set, p, c, /*f=*/1000, universe, mix, seed, pin,
+        harness::KeyDist::uniform(), widths,
+        latency ? &cell.latency : nullptr);
     bench::check_valid(*set);
     check_scan_matches_snapshot(*set);
     cell.footprint = set->allocated_nodes();
@@ -124,9 +134,13 @@ int main(int argc, char** argv) {
   std::cout << std::left << std::setw(26) << "variant" << std::right
             << std::setw(6) << "sh" << std::setw(7) << "mix" << std::setw(11)
             << "kops/s" << std::setw(10) << "keys" << std::setw(10) << "fp"
-            << std::setw(10) << "limbo" << "\n";
+            << std::setw(10) << "limbo";
+  if (latency)
+    std::cout << std::setw(9) << "p99us" << std::setw(9) << "p999us";
+  std::cout << "\n";
 
   std::vector<harness::TableRow> csv_rows;
+  std::vector<harness::LatencyRow> lat_rows;
   for (const auto v : variants) {
     for (const auto r : reclaimers) {
       const std::string base =
@@ -149,15 +163,26 @@ int main(int argc, char** argv) {
                     << std::setw(11) << std::fixed << std::setprecision(0)
                     << cell.result.kops_per_sec() << std::setw(10)
                     << std::setprecision(1) << keys_per_scan << std::setw(10)
-                    << cell.footprint << std::setw(10) << cell.limbo << "\n";
-          csv_rows.push_back({std::string(v) + "/" + std::string(r) + "/sh" +
-                                  std::to_string(n) + ":" + row.name,
-                              cell.result});
+                    << cell.footprint << std::setw(10) << cell.limbo;
+          const std::string label = std::string(v) + "/" + std::string(r) +
+                                    "/sh" + std::to_string(n) + ":" +
+                                    row.name;
+          if (latency) {
+            const harness::LatHistogram all = cell.latency.merged();
+            std::cout << std::setw(9) << std::setprecision(1)
+                      << static_cast<double>(all.percentile(0.99)) / 1e3
+                      << std::setw(9)
+                      << static_cast<double>(all.percentile(0.999)) / 1e3;
+            lat_rows.push_back({label, cell.latency});
+          }
+          std::cout << "\n";
+          csv_rows.push_back({label, cell.result});
         }
       }
     }
   }
 
   bench::emit_csv("bench_scan.csv", csv_rows);
+  bench::emit_latency_csv("bench_scan_latency.csv", lat_rows);
   return 0;
 }

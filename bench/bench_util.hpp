@@ -65,4 +65,26 @@ inline workload::ScanWidths scan_widths(const harness::Options& opt,
   return {1, w};
 }
 
+/// The shared --no-latency flag: per-op recording defaults on (this is
+/// an observability-first harness) and is force-off when the layer is
+/// compiled out. Pass --no-latency for pre-PR-6-comparable throughput
+/// numbers (no clock reads in the op loop).
+inline bool latency_enabled(const harness::Options& opt) {
+  return harness::kLatencyCompiled && !opt.get_bool("no-latency");
+}
+
+/// Emit the per-op-class latency CSV twin (best effort), mirroring
+/// emit_csv.
+inline void emit_latency_csv(const std::string& filename,
+                             const std::vector<harness::LatencyRow>& rows) {
+  if (rows.empty()) return;
+  std::ofstream out(filename);
+  if (!out) {
+    std::cerr << "(could not write " << filename << ")\n";
+    return;
+  }
+  harness::write_latency_csv(out, rows);
+  std::cout << "latency csv: " << filename << "\n";
+}
+
 }  // namespace pragmalist::bench

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/core/iset.hpp"
+#include "src/harness/latency.hpp"
 #include "src/workload/op_mix.hpp"
 #include "src/workload/schedule.hpp"
 
@@ -57,9 +58,32 @@ long checked_range_scan(core::ISetHandle& h, long lo, long hi);
 /// other op and reads [key, key + width - 1]. Every scan's emission is
 /// checked in-line (ascending, in range) -- a scan bug aborts the run
 /// rather than producing numbers.
+///
+/// `lat`, when non-null, receives per-op-class latencies (observed
+/// start -> completion, merged across workers). A null pointer is the
+/// default and costs one predicted branch per op -- no clock reads --
+/// so throughput numbers stay comparable with pre-latency runs.
 RunResult run_random_mix(core::ISet& set, int p, long c, long prefill,
                          long universe, workload::OpMix mix,
                          std::uint64_t seed, bool pin,
+                         KeyDist dist = KeyDist::uniform(),
+                         workload::ScanWidths widths = {},
+                         LatencyProfile* lat = nullptr);
+
+/// Fixed-rate (coordinated-omission-aware) mix driver behind
+/// bench_latency --rate: each of the p workers issues its ops on an
+/// absolute schedule of `rate` intended starts per second and records
+/// completion - *intended* start into `lat`, so a stall charges its
+/// full duration to the stalled op and the queueing delay to every op
+/// scheduled behind it (a free-running loop silently omits exactly
+/// those samples). `behind`, when non-null, receives the total number
+/// of ops that started a full period or more late. RunResult.ms is the
+/// usual run_team window, which here includes pacing sleeps -- kops/s
+/// reports the *offered* rate, the latency profile carries the story.
+RunResult run_fixed_rate(core::ISet& set, int p, long c, long prefill,
+                         long universe, workload::OpMix mix,
+                         std::uint64_t seed, bool pin, double rate,
+                         LatencyProfile& lat, long* behind = nullptr,
                          KeyDist dist = KeyDist::uniform(),
                          workload::ScanWidths widths = {});
 

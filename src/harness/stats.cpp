@@ -14,6 +14,8 @@ Summary summarize(const std::vector<double>& xs) {
   double sum = 0.0;
   for (const double x : xs) sum += x;
   s.mean = sum / static_cast<double>(xs.size());
+  // n < 2 leaves stddev at its NaN default: one sample has no
+  // dispersion estimate (0.0 would masquerade as zero variance).
   if (xs.size() > 1) {
     double ss = 0.0;
     for (const double x : xs) ss += (x - s.mean) * (x - s.mean);

@@ -1,16 +1,25 @@
 // Summary statistics for repeated benchmark runs.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace pragmalist::harness {
 
 struct Summary {
   double mean = 0.0;
-  double stddev = 0.0;  // sample standard deviation
+  // Sample standard deviation. NaN when fewer than two samples: a
+  // single run carries no dispersion information, and reporting 0.0
+  // there (as this used to) is indistinguishable from true zero
+  // variance. Consumers check stddev_defined() (or std::isnan) before
+  // printing.
+  double stddev = std::numeric_limits<double>::quiet_NaN();
   double min = 0.0;
   double max = 0.0;
   std::size_t n = 0;
+
+  bool stddev_defined() const { return n >= 2; }
 };
 
 Summary summarize(const std::vector<double>& xs);

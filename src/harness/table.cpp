@@ -42,6 +42,65 @@ void write_csv(std::ostream& os, const std::vector<TableRow>& rows) {
   }
 }
 
+namespace {
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+void print_latency_table(std::ostream& os, const std::string& title,
+                         const std::vector<LatencyRow>& rows) {
+  std::size_t label_width = 12;
+  for (const auto& row : rows)
+    label_width = std::max(label_width, row.label.size());
+
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(static_cast<int>(label_width + 2)) << "variant"
+     << std::setw(10) << "class" << std::right << std::setw(10) << "count"
+     << std::setw(11) << "p50(us)" << std::setw(11) << "p90(us)"
+     << std::setw(11) << "p99(us)" << std::setw(11) << "p999(us)"
+     << std::setw(11) << "max(us)" << "\n";
+  for (const auto& row : rows) {
+    for (int c = 0; c < kNumOpClasses; ++c) {
+      const auto cls = static_cast<OpClass>(c);
+      const LatHistogram& h = row.profile.of(cls);
+      if (h.count() == 0) continue;
+      os << std::left << std::setw(static_cast<int>(label_width + 2))
+         << row.label << std::setw(10) << op_class_name(cls) << std::right
+         << std::setw(10) << h.count() << std::fixed << std::setprecision(1)
+         << std::setw(11) << us(h.percentile(0.50)) << std::setw(11)
+         << us(h.percentile(0.90)) << std::setw(11)
+         << us(h.percentile(0.99)) << std::setw(11)
+         << us(h.percentile(0.999)) << std::setw(11) << us(h.max()) << "\n";
+    }
+  }
+}
+
+void write_latency_csv(std::ostream& os, const std::vector<LatencyRow>& rows) {
+  os << "id,class,count,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n";
+  for (const auto& row : rows) {
+    for (int c = 0; c < kNumOpClasses; ++c) {
+      const auto cls = static_cast<OpClass>(c);
+      const LatHistogram& h = row.profile.of(cls);
+      if (h.count() == 0) continue;
+      os << row.label << ',' << op_class_name(cls) << ',' << h.count() << ','
+         << h.percentile(0.50) << ',' << h.percentile(0.90) << ','
+         << h.percentile(0.99) << ',' << h.percentile(0.999) << ','
+         << h.max() << "\n";
+    }
+  }
+}
+
+std::string latency_summary_line(const LatencyProfile& profile) {
+  const LatHistogram all = profile.merged();
+  if (all.count() == 0) return {};
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << "p50=" << us(all.percentile(0.50))
+     << "us p99=" << us(all.percentile(0.99)) << "us p999="
+     << us(all.percentile(0.999)) << "us max=" << us(all.max()) << "us";
+  return os.str();
+}
+
 double ShardLoad::imbalance() const {
   if (!sharded()) return 0.0;
   if (max_ops == 0) return 1.0;  // no traffic anywhere: degenerate spread

@@ -23,6 +23,28 @@ void print_paper_table(std::ostream& os, const std::string& title,
 /// Machine-readable twin of print_paper_table.
 void write_csv(std::ostream& os, const std::vector<TableRow>& rows);
 
+/// One bench row's latency profile, rendered as one line per non-empty
+/// op class by print_latency_table / write_latency_csv.
+struct LatencyRow {
+  std::string label;
+  LatencyProfile profile;
+};
+
+/// Human table: label, class, count, p50/p90/p99/p999/max in
+/// microseconds. Classes with zero samples are skipped.
+void print_latency_table(std::ostream& os, const std::string& title,
+                         const std::vector<LatencyRow>& rows);
+
+/// Machine twin, nanosecond integers:
+/// id,class,count,p50_ns,p90_ns,p99_ns,p999_ns,max_ns. The CI latency
+/// smoke parses this and asserts p50 <= p99 <= p999 <= max per row.
+void write_latency_csv(std::ostream& os, const std::vector<LatencyRow>& rows);
+
+/// "p50=12.3us p99=45.6us p999=78.9us max=123.4us" over the merged op
+/// classes -- the compact per-run summary the bench grids append to a
+/// row. Empty when the profile holds no samples.
+std::string latency_summary_line(const LatencyProfile& profile);
+
 /// Per-shard load distribution of a sharded set, read quiescently via
 /// ISet::shard_ops(). `sharded()` is false for every unsharded id, so
 /// callers can print unconditionally.

@@ -3,7 +3,13 @@
 //   run_team     -- the fixed-membership runner behind every paper
 //     table: spawn p workers, line them up behind a start gate so
 //     thread creation is excluded from the measurement, release them
-//     together, and report the wall time from release to last join.
+//     together, and report the wall time from release to the *last
+//     body return* (each worker stamps a timestamp the moment its body
+//     returns; the window is the max-reduce of those stamps). Joining
+//     happens after the stamps, so thread teardown -- TLS destructors,
+//     kernel exit, join scheduling skew -- is excluded: measuring to
+//     the last join used to inflate short runs by the slowest thread's
+//     exit path, which is noise, not workload.
 //   DynamicTeam  -- the service-mode runner: workers arrive and depart
 //     mid-run under resize(), each driving its loop body until its
 //     personal stop token flips. Worker ids are arrival ids and are
@@ -12,6 +18,7 @@
 //     churn the reclaimers' re-lease paths exist for.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -30,8 +37,14 @@ namespace pragmalist::harness {
 /// the measured region.
 template <typename Body>
 double run_team(int p, Body&& body, bool pin) {
+  if (p <= 0) return 0.0;
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
+  // Stamped by each worker the instant its body returns; the measured
+  // window ends at the max of these, not at the last join, so thread
+  // teardown (TLS destructors, exit, join skew) never counts.
+  std::vector<std::chrono::steady_clock::time_point> done(
+      static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int t = 0; t < p; ++t) {
@@ -40,6 +53,7 @@ double run_team(int p, Body&& body, bool pin) {
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       body(t);
+      done[static_cast<std::size_t>(t)] = std::chrono::steady_clock::now();
     });
   }
   while (ready.load(std::memory_order_acquire) != p)
@@ -47,7 +61,9 @@ double run_team(int p, Body&& body, bool pin) {
   const auto start = std::chrono::steady_clock::now();
   go.store(true, std::memory_order_release);
   for (auto& th : threads) th.join();
-  const auto stop = std::chrono::steady_clock::now();
+  // join() synchronizes with each thread's completion, so the stamps
+  // are safely visible here.
+  const auto stop = *std::max_element(done.begin(), done.end());
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 

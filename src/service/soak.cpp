@@ -71,25 +71,41 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
   // counter the sampler reads and resets each tick. On departure a
   // worker folds its counters into the aggregate under a mutex --
   // departures are rare (schedule edges), so this is off every hot
-  // path.
+  // path. When record_latency is on, each worker also owns a latency
+  // profile it registers at arrival; profiles outlive departures (the
+  // registry holds them) so the sampler can keep merging cumulative
+  // views and the final per-class profile misses no one.
   std::atomic<long> window_ops{0};
   std::mutex agg_mu;
   core::OpCounters agg;
+  std::vector<std::unique_ptr<harness::LatencyProfile>> profiles;
   auto body = [&](int worker_id, const std::atomic<bool>& stop) {
     auto handle = set.make_handle();
     workload::Rng rng(workload::thread_seed(cfg.seed, worker_id));
+    harness::LatencyProfile* lp = nullptr;
+    if (cfg.record_latency) {
+      auto owned = std::make_unique<harness::LatencyProfile>();
+      lp = owned.get();
+      std::lock_guard<std::mutex> lock(agg_mu);
+      profiles.push_back(std::move(owned));
+    }
     long local_ops = 0;
     while (!stop.load(std::memory_order_acquire)) {
       const long key =
           zipf ? (*zipf)(rng)
                : static_cast<long>(
                      rng.below(static_cast<std::uint64_t>(cfg.universe)));
-      switch (cfg.mix.pick(rng)) {
+      const workload::OpKind kind = cfg.mix.pick(rng);
+      const std::uint64_t t0 = lp ? harness::lat_now_ns() : 0;
+      harness::OpClass cls = harness::OpClass::kContains;
+      switch (kind) {
         case workload::OpKind::kAdd:
           handle->add(key);
+          cls = harness::OpClass::kAdd;
           break;
         case workload::OpKind::kRemove:
           handle->remove(key);
+          cls = harness::OpClass::kRemove;
           break;
         case workload::OpKind::kContains:
           handle->contains(key);
@@ -97,8 +113,10 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
         case workload::OpKind::kScan:
           harness::checked_range_scan(*handle, key,
                                       key + cfg.scan_widths.pick(rng) - 1);
+          cls = harness::OpClass::kScan;
           break;
       }
+      if (lp) lp->of(cls).record(harness::lat_now_ns() - t0);
       // Batch the shared-counter bump so sampling does not serialize
       // the workers on one cache line.
       if (++local_ops % 64 == 0)
@@ -112,24 +130,62 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
     agg += ctr;
   };
 
+  // Cumulative merge of every registered profile as of now. Workers
+  // keep recording while this reads (relaxed atomics: slightly stale,
+  // never torn), which is exactly what a per-tick sampler wants.
+  auto merge_profiles = [&] {
+    harness::LatencyProfile cum;
+    std::lock_guard<std::mutex> lock(agg_mu);
+    for (const auto& p : profiles) cum += *p;
+    return cum;
+  };
+
   SoakResult result;
   result.series.reserve(static_cast<std::size_t>(cfg.ticks));
   const auto start = Clock::now();
   {
     harness::DynamicTeam team(body, cfg.pin);
+    harness::LatencyProfile prev_cum;
+    auto window_start = start;
     for (int tick = 0; tick < cfg.ticks; ++tick) {
       const int target =
           thread_target(cfg.schedule, tick, cfg.ticks, cfg.max_threads);
       team.resize(target);
       if (target > result.peak_threads) result.peak_threads = target;
-      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.tick_ms));
+      // Absolute deadline off the soak start: a tick that oversleeps
+      // (scheduler delay, slow resize) stretches its own measured
+      // window and the next sleep_until simply sleeps less -- the old
+      // relative sleep_for accumulated every delay into drift, while
+      // per-tick throughput was still normalized by the nominal
+      // tick_ms.
+      std::this_thread::sleep_until(
+          start + std::chrono::milliseconds(
+                      static_cast<long long>(cfg.tick_ms) * (tick + 1)));
+      const auto now = Clock::now();
       SoakSample s;
       s.tick = tick;
-      s.t_ms = ms_since(start);
+      s.t_ms = std::chrono::duration<double, std::milli>(now - start).count();
+      s.dur_ms =
+          std::chrono::duration<double, std::milli>(now - window_start)
+              .count();
+      window_start = now;
       s.threads = target;
       s.ops = window_ops.exchange(0, std::memory_order_relaxed);
       s.footprint = set.allocated_nodes();
       s.limbo = set.limbo_nodes();
+      if (cfg.record_latency) {
+        harness::LatencyProfile cum = merge_profiles();
+        harness::LatencyProfile interval = cum;
+        interval -= prev_cum;
+        prev_cum = cum;
+        const harness::LatHistogram all = interval.merged();
+        if (all.count() > 0) {
+          s.p50_us = static_cast<double>(all.percentile(0.50)) / 1e3;
+          s.p99_us = static_cast<double>(all.percentile(0.99)) / 1e3;
+          s.p999_us = static_cast<double>(all.percentile(0.999)) / 1e3;
+          s.max_us = static_cast<double>(all.max()) / 1e3;
+        }
+      }
       result.series.push_back(s);
     }
     team.resize(0);  // join everyone before the clock stops
@@ -137,6 +193,7 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
   }
   result.ms = ms_since(start);
   result.agg = agg;
+  if (cfg.record_latency) result.latency = merge_profiles();
   // All handles are closed, so the per-shard ledgers are complete.
   result.shard_ops = set.shard_ops();
   return result;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/iset.hpp"
+#include "src/harness/latency.hpp"
 #include "src/service/schedule.hpp"
 #include "src/workload/op_mix.hpp"
 
@@ -42,6 +43,11 @@ struct SoakConfig {
   // hot ranks concentrate on hot shards (shard::shard_of is a pure
   // function of the key) and the per-shard load report shows the skew.
   double zipf_theta = 0.0;
+  // Record per-op latencies into per-worker histograms and report
+  // per-tick tail columns + the whole-run per-class profile. Off by
+  // default so latency-blind soaks cost nothing extra (two clock reads
+  // per op when on).
+  bool record_latency = false;
 };
 
 /// One per-tick observation. `ops` is the number of operations
@@ -49,10 +55,29 @@ struct SoakConfig {
 struct SoakSample {
   int tick = 0;
   double t_ms = 0.0;         // elapsed wall time at sample
+  // Measured wall time of this tick's window. Ticks are paced by
+  // absolute deadlines (start + (tick+1)*tick_ms), so a scheduler
+  // delay stretches one window instead of drifting all later ones --
+  // and per-tick throughput must be normalized by *this*, not the
+  // nominal tick_ms (kops_per_sec() does).
+  double dur_ms = 0.0;
   int threads = 0;           // live workers during this tick
   long ops = 0;              // ops completed in this window
   std::size_t footprint = 0;  // ISet::allocated_nodes()
   std::size_t limbo = 0;      // ISet::limbo_nodes()
+  // Tail of the ops completed in this window, all classes merged,
+  // microseconds (0 when record_latency is off). Derived from interval
+  // histograms (cumulative merge minus previous tick's), so max is at
+  // bucket resolution.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+
+  /// Window throughput normalized by the measured duration.
+  double kops_per_sec() const {
+    return dur_ms > 0.0 ? static_cast<double>(ops) / dur_ms : 0.0;
+  }
 };
 
 struct SoakResult {
@@ -65,6 +90,9 @@ struct SoakResult {
   // departed; empty for unsharded ids. bench_soak prints min/max and
   // the max/min imbalance so skewed runs show their hot shards.
   std::vector<long> shard_ops;
+  // Whole-run per-op-class latency profile, merged over every worker
+  // that ran (departed or not). Empty when record_latency was off.
+  harness::LatencyProfile latency;
 
   long total_ops() const { return agg.total_ops(); }
   double kops_per_sec() const {

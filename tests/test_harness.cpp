@@ -2,6 +2,7 @@
 // RNG determinism, distributions, op mixes, stats, table rendering.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "src/harness/catalog.hpp"
@@ -176,7 +177,34 @@ TEST(Stats, SummarizeBasics) {
   EXPECT_DOUBLE_EQ(s.max, 6.0);
   EXPECT_DOUBLE_EQ(s.stddev, 2.0);
   EXPECT_EQ(s.n, 3u);
-  EXPECT_EQ(harness::summarize({}).n, 0u);
+  EXPECT_TRUE(s.stddev_defined());
+}
+
+TEST(Stats, SummarizeSmallSamples) {
+  // Empty: nothing is defined; stddev is NaN, not a fake 0.0.
+  const auto none = harness::summarize({});
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_FALSE(none.stddev_defined());
+  EXPECT_TRUE(std::isnan(none.stddev));
+
+  // One sample: mean/min/max are the sample, but a single observation
+  // has no spread -- stddev must be NaN (flagged), never 0.0, so a
+  // caller cannot mistake "no information" for "perfectly stable".
+  const auto one = harness::summarize({5.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.min, 5.0);
+  EXPECT_DOUBLE_EQ(one.max, 5.0);
+  EXPECT_FALSE(one.stddev_defined());
+  EXPECT_TRUE(std::isnan(one.stddev));
+
+  // Two samples: the smallest n where spread exists (sample stddev,
+  // n-1 denominator): {1,3} -> sqrt(2).
+  const auto two = harness::summarize({1.0, 3.0});
+  EXPECT_EQ(two.n, 2u);
+  EXPECT_DOUBLE_EQ(two.mean, 2.0);
+  EXPECT_TRUE(two.stddev_defined());
+  EXPECT_DOUBLE_EQ(two.stddev, std::sqrt(2.0));
 }
 
 TEST(Table, RendersRowsAndCsv) {
