@@ -132,7 +132,8 @@ int main(int argc, char** argv) {
   std::ofstream csv("bench_soak.csv");
   if (csv)
     csv << "id,schedule,shards,tick,t_ms,dur_ms,threads,ops,kops,footprint,"
-           "limbo,p50_us,p99_us,p999_us,max_us\n";
+           "limbo,p50_us,p99_us,p999_us,max_us,leaked,crashed_slots,"
+           "leaked_cells,parked_limbo,horizon_lag\n";
 
   std::vector<harness::LatencyRow> lat_rows;
   for (const auto& id : run_ids) {
@@ -174,7 +175,9 @@ int main(int argc, char** argv) {
             << s.dur_ms << "," << s.threads << "," << s.ops << ","
             << s.kops_per_sec() << "," << s.footprint << "," << s.limbo
             << "," << s.p50_us << "," << s.p99_us << "," << s.p999_us << ","
-            << s.max_us << "\n";
+            << s.max_us << "," << s.leaked << "," << s.crashed_slots << ","
+            << s.leaked_cells << "," << s.parked_limbo << ","
+            << s.horizon_lag << "\n";
   }
   if (!lat_rows.empty()) {
     std::cout << "\n";

@@ -99,6 +99,13 @@ class DoublyFamilyList {
     }
     const OpCounters& counters() const { return ctr_; }
 
+    /// Fault injection (see faults.hpp): op-level kinds run a
+    /// deliberately botched remove of `key`; lease-level kinds crash
+    /// the reclaim handle itself. Only destruction may follow.
+    void abandon(faults::FaultKind k, long key) {
+      list_->do_abandon(*this, k, key);
+    }
+
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
@@ -182,6 +189,22 @@ class DoublyFamilyList {
       return domain_->limbo_nodes();
     else
       return 0;
+  }
+
+  /// Supervisor recovery and blast-radius metrics, forwarded to the
+  /// reclamation domain (no-op / all-zero under the arena). See
+  /// src/faults/faults.hpp.
+  std::size_t reap_crashed() {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->reap_crashed();
+    else
+      return 0;
+  }
+  faults::BlastStats blast_stats() const {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->blast_stats();
+    else
+      return {};
   }
 
   /// Test-only: break the order invariant by swapping the keys of the
@@ -392,6 +415,68 @@ class DoublyFamilyList {
           succ->back.store(p.prev, std::memory_order_release);
       }
       if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
+    }
+    return true;
+  }
+
+  /// Fault dispatch (Handle::abandon) -- same contract as the singly
+  /// family: op-level kinds count as a remove attempt (the logical
+  /// removal happens, so the population ledger keeps balancing) and
+  /// leave the reclaim lease healthy; lease-level kinds crash it.
+  void do_abandon(Handle& h, faults::FaultKind k, long key) {
+    if (faults::is_op_fault(k)) {
+      ++h.ctr_.rem_calls;
+      h.ctr_.rems += k == faults::FaultKind::kMidOpAbandon
+                         ? do_remove_abandoned(h, key)
+                         : do_remove_leaky(h, key);
+    } else {
+      h.rh_->abandon(k);
+    }
+  }
+
+  /// kMidOpAbandon: win the marking CAS, then vanish -- no unlink, no
+  /// back-pointer refresh, no cursor update. Survivors sweep the node
+  /// (and their recover() hops treat its stale hint like any other
+  /// imprecise one). Returns whether the logical remove took effect.
+  bool do_remove_abandoned(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) return false;
+    for (;;) {
+      const auto cv = p.cur->next.load();
+      if (cv.marked) return false;  // another remover won
+      if (p.cur->next.cas_mark(cv.ptr)) return true;
+    }
+  }
+
+  /// kRetireSkipped: a complete remove that dies between the unlink
+  /// CAS and the retire -- the successor's back hint is also left
+  /// stale (hints are correctness-neutral; a crashed peer maintains
+  /// nothing). The detached node goes to the domain's leak ledger; a
+  /// failed unlink degrades to kMidOpAbandon and nothing leaks.
+  bool do_remove_leaky(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) return false;
+    bool won = false;
+    Node* succ = nullptr;
+    for (;;) {
+      const auto cv = p.cur->next.load();
+      if (cv.marked) break;
+      if (p.cur->next.cas_mark(cv.ptr)) {
+        won = true;
+        succ = cv.ptr;
+        break;
+      }
+    }
+    if (!won) return false;
+    if constexpr (kHazards) {
+      // Pin succ as in do_remove: the unlink CAS publishing succ at
+      // p.prev must not race its reclamation.
+      if (succ != nullptr) h.rh_->protect(hazard::kRun, succ);
+    }
+    if (p.prev->next.cas_clean(p.cur, succ)) {
+      if constexpr (Reclaim::kReclaims) h.rh_->leak(p.cur);
     }
     return true;
   }

@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/faults/faults.hpp"
+
 namespace pragmalist::core {
 
 /// Per-handle operation ledger. `adds`/`rems`/`cons` count *successful*
@@ -104,6 +106,17 @@ class ISetHandle {
   virtual std::vector<long> ascend(long from, std::size_t limit) = 0;
 
   virtual OpCounters counters() const = 0;
+
+  /// Fault injection: simulate this handle's worker crashing with the
+  /// given fault (src/faults/faults.hpp). The op-level kinds
+  /// (kMidOpAbandon, kRetireSkipped) perform a deliberately botched
+  /// remove of `key` first; the lease-level kinds crash the reclaim
+  /// handle itself. After this call the handle must only be destroyed
+  /// (its destructor performs a *clean* departure of whatever the
+  /// fault left alive, which for the lease-level kinds is nothing).
+  /// Default: no-op -- baselines without an abandon path are
+  /// fault-oblivious and just depart cleanly.
+  virtual void abandon(faults::FaultKind, long /*key*/) {}
 };
 
 /// The shared structure. make_handle() may be called concurrently from
@@ -148,6 +161,20 @@ class ISet {
 
   /// Live keys per shard (quiescent-only; empty when unsharded).
   virtual std::vector<std::size_t> shard_sizes() const { return {}; }
+
+  /// Supervisor recovery after worker crashes: release every lease
+  /// abandoned via ISetHandle::abandon -- unpin stalled epochs, clear
+  /// leaked hazard cells, hand parked limbo to the survivors. Returns
+  /// the number of leases reaped (0 when the structure has no crashed
+  /// leases, or no reclaim layer at all). Safe to call while workers
+  /// run; the soak driver calls it a configurable delay after each
+  /// injected fault.
+  virtual std::size_t reap_crashed() { return 0; }
+
+  /// Blast-radius counters for the faults injected so far (all zero
+  /// for structures without a reclaim layer). Safe to sample while
+  /// workers run; the soak driver records one per tick.
+  virtual faults::BlastStats blast_stats() const { return {}; }
 
   virtual std::string_view name() const = 0;
 };

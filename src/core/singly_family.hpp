@@ -113,6 +113,13 @@ class SinglyFamilyList {
     }
     const OpCounters& counters() const { return ctr_; }
 
+    /// Fault injection (see faults.hpp): op-level kinds run a
+    /// deliberately botched remove of `key`; lease-level kinds crash
+    /// the reclaim handle itself. Only destruction may follow.
+    void abandon(faults::FaultKind k, long key) {
+      list_->do_abandon(*this, k, key);
+    }
+
     Handle(Handle&&) = default;  // MaybeOwned re-seats its pointer
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
@@ -183,6 +190,22 @@ class SinglyFamilyList {
       return domain_->limbo_nodes();
     else
       return 0;
+  }
+
+  /// Supervisor recovery and blast-radius metrics, forwarded to the
+  /// reclamation domain (no-op / all-zero under the arena). See
+  /// src/faults/faults.hpp.
+  std::size_t reap_crashed() {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->reap_crashed();
+    else
+      return 0;
+  }
+  faults::BlastStats blast_stats() const {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->blast_stats();
+    else
+      return {};
   }
 
   /// Test-only: break the order invariant by swapping the keys of the
@@ -391,6 +414,78 @@ class SinglyFamilyList {
       if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
     } else {
       if constexpr (kTraversal == Traversal::kDraconic) search(h, key);
+    }
+    return true;
+  }
+
+  /// Fault dispatch (Handle::abandon). The op-level kinds count as a
+  /// remove attempt in the handle's ledger -- their logical removal
+  /// really happens, so the population conservation check
+  /// (prefill + adds - rems == size) keeps balancing across crashes.
+  /// They deliberately leave the reclaim lease healthy: each fault
+  /// kind isolates one recovery path (combine with a lease-level
+  /// abandon on another worker to test both at once).
+  void do_abandon(Handle& h, faults::FaultKind k, long key) {
+    if (faults::is_op_fault(k)) {
+      ++h.ctr_.rem_calls;
+      h.ctr_.rems += k == faults::FaultKind::kMidOpAbandon
+                         ? do_remove_abandoned(h, key)
+                         : do_remove_leaky(h, key);
+    } else {
+      h.rh_->abandon(k);
+    }
+  }
+
+  /// kMidOpAbandon: win the remove's marking CAS, then vanish -- no
+  /// unlink attempt, no draconic helping, no cursor update. The node
+  /// stays marked-but-linked until a survivor's traversal sweeps it:
+  /// exactly the cooperative-helping obligation a crashed peer leaves
+  /// behind. Returns whether the logical remove took effect.
+  bool do_remove_abandoned(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) return false;
+    if constexpr (kMarking == Marking::kFetchOr) {
+      return !p.cur->next.fetch_or_mark().marked;
+    } else {
+      for (;;) {
+        const auto cv = p.cur->next.load();
+        if (cv.marked) return false;  // another remover won
+        if (p.cur->next.cas_mark(cv.ptr)) return true;
+      }
+    }
+  }
+
+  /// kRetireSkipped: a complete remove -- mark and unlink -- that dies
+  /// between the unlink CAS and the retire. The detached node goes to
+  /// the domain's leak ledger instead of limbo; under the arena this
+  /// degrades to a normal remove (retire was a no-op anyway). A failed
+  /// unlink CAS leaves the node linked, degrading to kMidOpAbandon: a
+  /// survivor sweeps and retires it normally, and nothing leaks.
+  bool do_remove_leaky(Handle& h, long key) {
+    [[maybe_unused]] auto guard = h.rh_->guard();
+    const Pos p = search(h, key);
+    if (p.cur == nullptr || p.cur->key != key) return false;
+    bool won = false;
+    Node* succ = nullptr;
+    if constexpr (kMarking == Marking::kFetchOr) {
+      const auto old = p.cur->next.fetch_or_mark();
+      won = !old.marked;
+      succ = old.ptr;
+    } else {
+      for (;;) {
+        const auto cv = p.cur->next.load();
+        if (cv.marked) break;
+        if (p.cur->next.cas_mark(cv.ptr)) {
+          won = true;
+          succ = cv.ptr;
+          break;
+        }
+      }
+    }
+    if (!won) return false;
+    if (p.prev->next.cas_clean(p.cur, succ)) {
+      if constexpr (Reclaim::kReclaims) h.rh_->leak(p.cur);
     }
     return true;
   }

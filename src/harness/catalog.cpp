@@ -37,6 +37,30 @@ struct HasShardCount<
     T, std::void_t<decltype(std::declval<const T&>().shard_count())>>
     : std::true_type {};
 
+// Fault-injection surface: the engines and the sharded set have it;
+// baselines/skiplist do not (ISetHandle::abandon's default no-op makes
+// them fault-oblivious -- a "crash" is just a clean departure there).
+template <typename T, typename = void>
+struct HasAbandon : std::false_type {};
+template <typename T>
+struct HasAbandon<T, std::void_t<decltype(std::declval<T&>().abandon(
+                         faults::FaultKind::kMidOpAbandon, 0L))>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasReapCrashed : std::false_type {};
+template <typename T>
+struct HasReapCrashed<
+    T, std::void_t<decltype(std::declval<T&>().reap_crashed())>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasBlastStats : std::false_type {};
+template <typename T>
+struct HasBlastStats<
+    T, std::void_t<decltype(std::declval<const T&>().blast_stats())>>
+    : std::true_type {};
+
 /// Adapts any concrete structure with the
 /// make_handle()/validate()/size()/snapshot() shape to core::ISet.
 /// Owns its id as a string: sharded ids (`.../shN`) are composed at
@@ -57,6 +81,10 @@ class SetAdapter final : public core::ISet {
       return h_.ascend(from, limit);
     }
     core::OpCounters counters() const override { return h_.counters(); }
+    void abandon(faults::FaultKind k, long key) override {
+      if constexpr (HasAbandon<typename Structure::Handle>::value)
+        h_.abandon(k, key);
+    }
 
    private:
     typename Structure::Handle h_;
@@ -102,6 +130,18 @@ class SetAdapter final : public core::ISet {
   std::vector<std::size_t> shard_sizes() const override {
     if constexpr (HasShardCount<Structure>::value)
       return inner_.shard_sizes();
+    else
+      return {};
+  }
+  std::size_t reap_crashed() override {
+    if constexpr (HasReapCrashed<Structure>::value)
+      return inner_.reap_crashed();
+    else
+      return 0;
+  }
+  faults::BlastStats blast_stats() const override {
+    if constexpr (HasBlastStats<Structure>::value)
+      return inner_.blast_stats();
     else
       return {};
   }

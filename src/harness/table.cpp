@@ -101,6 +101,27 @@ std::string latency_summary_line(const LatencyProfile& profile) {
   return os.str();
 }
 
+std::string summary_cell(const Summary& s, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << s.mean << " "
+     << stddev_cell(s, precision);
+  return os.str();
+}
+
+std::string stddev_cell(const Summary& s, int precision) {
+  if (!s.stddev_defined()) return "—";  // em dash: no spread exists
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << "±" << s.stddev;
+  return os.str();
+}
+
+std::string summary_csv_fields(const Summary& s, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << s.mean << ",";
+  if (s.stddev_defined()) os << s.stddev;
+  return os.str();
+}
+
 double ShardLoad::imbalance() const {
   if (!sharded()) return 0.0;
   if (max_ops == 0) return 1.0;  // no traffic anywhere: degenerate spread

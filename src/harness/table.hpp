@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/harness/drivers.hpp"
+#include "src/harness/stats.hpp"
 
 namespace pragmalist::harness {
 
@@ -44,6 +45,20 @@ void write_latency_csv(std::ostream& os, const std::vector<LatencyRow>& rows);
 /// classes -- the compact per-run summary the bench grids append to a
 /// row. Empty when the profile holds no samples.
 std::string latency_summary_line(const LatencyProfile& profile);
+
+/// Human cell for a repeated-run Summary: "12.3 ±1.4", or "12.3 —"
+/// when the sample count cannot define a stddev (n < 2, where
+/// Summary::stddev is NaN by contract) -- a table must render the
+/// contract, never the literal "nan".
+std::string summary_cell(const Summary& s, int precision = 1);
+
+/// The spread alone: "±1.4", or "—" when undefined.
+std::string stddev_cell(const Summary& s, int precision = 1);
+
+/// CSV twin: "<mean>,<stddev>" with the stddev field left *empty*
+/// ("12.3,") when undefined, so parsers see a missing value instead of
+/// a non-numeric token.
+std::string summary_csv_fields(const Summary& s, int precision = 1);
 
 /// Per-shard load distribution of a sharded set, read quiescently via
 /// ISet::shard_ops(). `sharded()` is false for every unsharded id, so

@@ -27,6 +27,7 @@
 #include <cstddef>
 
 #include "src/core/list_base.hpp"
+#include "src/faults/faults.hpp"
 
 namespace pragmalist::reclaim {
 
@@ -42,6 +43,13 @@ class Arena {
     struct Guard {};
     Guard guard() { return {}; }
     void retire(Node*) {}  // the registry frees everything at teardown
+
+    /// Fault injection is a no-op: there is no guard to leak, no
+    /// departure protocol to skip, and retires already do nothing.
+    /// The arena is fault-oblivious by construction -- crashed workers
+    /// cost exactly what well-behaved ones do (the fault tier asserts
+    /// its blast stats stay all-zero).
+    void abandon(faults::FaultKind) {}
   };
 
   Arena() = default;

@@ -90,6 +90,7 @@
 #include <vector>
 
 #include "src/common/debug.hpp"
+#include "src/faults/faults.hpp"
 
 namespace pragmalist::reclaim {
 
@@ -239,6 +240,40 @@ class Ebr {
     /// Current adaptive trigger (tests/metrics only).
     std::size_t collect_threshold() const { return collect_threshold_; }
 
+    /// Fault injection: the owning worker crashed.
+    /// kAbortWithGuardHeld re-pins the slot at the current epoch and
+    /// leaves it pinned -- the reclamation horizon can advance at most
+    /// once and then stalls until the lease is reaped.
+    /// kDepartWithoutRelease skips the departure protocol (no final
+    /// collect, no orphan hand-off, slot kept leased). Either way the
+    /// handle's limbo is parked on the domain -- still counted by
+    /// limbo_nodes(), but unadoptable until reap_crashed() -- and the
+    /// handle is dead afterwards (its destructor is a no-op).
+    void abandon(faults::FaultKind k) {
+      PRAGMALIST_CHECK(!faults::is_op_fault(k),
+                       "op-level faults are injected by the engine, not "
+                       "the reclaim handle");
+      if (k == faults::FaultKind::kAbortWithGuardHeld) {
+        Slot& slot = d_->slots_[slot_];
+        slot.pinned.store(true, std::memory_order_seq_cst);
+        for (;;) {  // same publish loop as Guard: never a stale pin
+          const std::uint64_t e =
+              d_->global_epoch_.load(std::memory_order_seq_cst);
+          slot.epoch.store(e, std::memory_order_seq_cst);
+          if (d_->global_epoch_.load(std::memory_order_seq_cst) == e)
+            break;
+        }
+      }
+      d_->park_crashed(slot_, bags_, *this);
+      d_ = nullptr;
+    }
+
+    /// Fault injection (kRetireSkipped): `n` was unlinked but the
+    /// crash skipped its retire. The domain attributes and owns it --
+    /// counted by blast_stats().leaked_nodes, freed only at teardown,
+    /// never part of limbo.
+    void leak(Node* n) { d_->leak_node(n); }
+
    private:
     friend class Ebr;
     Handle(Ebr* d, int slot) : d_(d), slot_(slot) {}
@@ -288,6 +323,11 @@ class Ebr {
 
   ~Ebr() {
     for (const auto& entry : orphans_) delete entry.first;
+    // Crashed leases nobody reaped, and attributed leaks: the domain
+    // owns both, so even a faulted run tears down ASan-clean.
+    for (const auto& lease : crashed_)
+      for (const auto& entry : lease.nodes) delete entry.first;
+    for (Node* n : leaked_) delete n;
   }
 
   Handle make_handle() {
@@ -318,6 +358,53 @@ class Ebr {
   /// Current global epoch (metrics/tests only).
   std::uint64_t epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Supervisor recovery: release every crashed lease. Unpins the
+  /// slot (the horizon resumes), moves the parked nodes into the
+  /// orphan pool (any survivor's next collect adopts and frees them
+  /// under the usual two-epoch rule), and frees the slot for
+  /// re-lease. Returns the number of leases reaped. Safe to call from
+  /// any thread while workers run.
+  std::size_t reap_crashed() {
+    std::vector<CrashedLease> leases;
+    {
+      std::lock_guard<std::mutex> lock(crashed_mu_);
+      leases.swap(crashed_);
+      crashed_count_.store(0, std::memory_order_relaxed);
+    }
+    if (leases.empty()) return 0;
+    {
+      std::lock_guard<std::mutex> lock(orphans_mu_);
+      for (const auto& lease : leases)
+        for (const auto& entry : lease.nodes) orphans_.push_back(entry);
+      orphan_count_.store(orphans_.size(), std::memory_order_relaxed);
+    }
+    std::size_t parked = 0;
+    for (const auto& lease : leases) {
+      parked += lease.nodes.size();
+      // Hand the nodes off *before* unpinning: the stalled horizon
+      // keeps them unfreeable until this store, so adoption can never
+      // free something the dead pin still covered.
+      slots_[lease.slot].pinned.store(false, std::memory_order_seq_cst);
+      slots_[lease.slot].active.store(false, std::memory_order_release);
+    }
+    parked_limbo_.fetch_sub(parked, std::memory_order_relaxed);
+    return leases.size();
+  }
+
+  /// Blast-radius snapshot (see faults::BlastStats). Sampled per tick
+  /// by the soak driver; horizon_lag > 0 with no crashed slots is just
+  /// normal epoch skew, while a persistent lag under a crashed slot is
+  /// the guard-held stall.
+  faults::BlastStats blast_stats() const {
+    faults::BlastStats b;
+    b.leaked_nodes = leaked_count_.load(std::memory_order_relaxed);
+    b.crashed_slots = crashed_count_.load(std::memory_order_relaxed);
+    b.parked_limbo = parked_limbo_.load(std::memory_order_relaxed);
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    b.horizon_lag = e - min_pinned_epoch();
+    return b;
   }
 
  private:
@@ -394,6 +481,38 @@ class Ebr {
     limbo_.fetch_sub(freed, std::memory_order_relaxed);
   }
 
+  /// One abandoned handle: the slot it still occupies and its parked
+  /// limbo (with retire epochs, so adoption after reaping applies the
+  /// normal two-epoch rule).
+  struct CrashedLease {
+    int slot;
+    std::vector<std::pair<Node*, std::uint64_t>> nodes;
+  };
+
+  /// Park an abandoned handle's bags and record the lease. The slot
+  /// stays active (and possibly pinned) until reap_crashed().
+  void park_crashed(int slot, Bag (&bags)[kBags], Handle& h) {
+    CrashedLease lease;
+    lease.slot = slot;
+    for (Bag& bag : bags) {
+      for (Node* n : bag.nodes) lease.nodes.emplace_back(n, bag.epoch);
+      h.limbo_size_ -= bag.nodes.size();
+      bag.nodes.clear();
+    }
+    std::lock_guard<std::mutex> lock(crashed_mu_);
+    parked_limbo_.fetch_add(lease.nodes.size(), std::memory_order_relaxed);
+    crashed_.push_back(std::move(lease));
+    crashed_count_.store(crashed_.size(), std::memory_order_relaxed);
+  }
+
+  /// Attribute a kRetireSkipped leak: the node stays allocated (it is
+  /// outside limbo and the orphan pool) and is freed at teardown.
+  void leak_node(Node* n) {
+    std::lock_guard<std::mutex> lock(leaked_mu_);
+    leaked_.push_back(n);
+    leaked_count_.store(leaked_.size(), std::memory_order_relaxed);
+  }
+
   Slot slots_[kMaxHandles];
   std::atomic<std::uint64_t> global_epoch_{2};
   std::atomic<std::size_t> allocated_{0};
@@ -402,6 +521,13 @@ class Ebr {
   std::mutex orphans_mu_;
   std::vector<std::pair<Node*, std::uint64_t>> orphans_;  // guarded by mu
   std::atomic<std::size_t> orphan_count_{0};
+  std::mutex crashed_mu_;
+  std::vector<CrashedLease> crashed_;  // guarded by crashed_mu_
+  std::atomic<std::size_t> crashed_count_{0};
+  std::atomic<std::size_t> parked_limbo_{0};
+  std::mutex leaked_mu_;
+  std::vector<Node*> leaked_;  // guarded by leaked_mu_
+  std::atomic<std::size_t> leaked_count_{0};
 };
 
 }  // namespace pragmalist::reclaim

@@ -59,12 +59,14 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/common/debug.hpp"
 #include "src/core/list_base.hpp"
+#include "src/faults/faults.hpp"
 
 namespace pragmalist::reclaim {
 
@@ -141,6 +143,36 @@ class Hp {
     /// Retired-not-yet-freed nodes parked on this handle.
     std::size_t limbo_size() const { return retired_.size(); }
 
+    /// Fault injection: the owning worker crashed.
+    /// kAbortWithGuardHeld leaves every published cell as-is -- each
+    /// dead cell quarantines at most one node from every future scan,
+    /// which is HP's whole blast radius (contrast the EBR horizon
+    /// stall). kDepartWithoutRelease models a worker dying *between*
+    /// operations: the traversal cells are empty but the persistent
+    /// kCursor cell (by convention the highest slot) is still
+    /// published, so exactly that one leaks. Either way the retire bag
+    /// is parked on the domain -- counted by limbo_nodes(), but
+    /// unadoptable -- and the slot stays leased until reap_crashed().
+    /// The handle is dead afterwards (its destructor is a no-op).
+    void abandon(faults::FaultKind k) {
+      PRAGMALIST_CHECK(!faults::is_op_fault(k),
+                       "op-level faults are injected by the engine, not "
+                       "the reclaim handle");
+      if (k == faults::FaultKind::kDepartWithoutRelease) {
+        for (int s = 0; s + 1 < kSlots; ++s)
+          d_->slots_[slot_].hp[static_cast<std::size_t>(s)].store(
+              nullptr, std::memory_order_release);
+      }
+      d_->park_crashed(slot_, retired_);
+      d_ = nullptr;
+    }
+
+    /// Fault injection (kRetireSkipped): `n` was unlinked but the
+    /// crash skipped its retire. The domain attributes and owns it --
+    /// counted by blast_stats().leaked_nodes, freed only at teardown,
+    /// never part of limbo.
+    void leak(Node* n) { d_->leak_node(n); }
+
     /// Which borrower (list engine) currently owns the persistent
     /// kCursor cell -- see the file comment. Only ever read/written by
     /// the handle's own thread; nullptr when the cell is unclaimed.
@@ -166,6 +198,11 @@ class Hp {
       delete r;
       r = next;
     }
+    // Crashed leases nobody reaped, and attributed leaks: the domain
+    // owns both, so even a faulted run tears down ASan-clean.
+    for (const auto& lease : crashed_)
+      for (Node* n : lease.retired) delete n;
+    for (Node* n : leaked_) delete n;
   }
 
   Handle make_handle() {
@@ -198,6 +235,51 @@ class Hp {
   /// series.
   std::size_t limbo_nodes() const {
     return limbo_.load(std::memory_order_relaxed);
+  }
+
+  /// Supervisor recovery: release every crashed lease. Hands the
+  /// parked retire bag to the orphan stack (the next scan by any live
+  /// handle adopts it), clears the dead cells -- un-quarantining
+  /// whatever they pinned -- and frees the slot for re-lease. Returns
+  /// the number of leases reaped. Safe to call from any thread while
+  /// workers run.
+  std::size_t reap_crashed() {
+    std::vector<CrashedLease> leases;
+    {
+      std::lock_guard<std::mutex> lock(crashed_mu_);
+      leases.swap(crashed_);
+    }
+    if (leases.empty()) return 0;
+    std::size_t parked = 0;
+    for (auto& lease : leases) {
+      parked += lease.retired.size();
+      // Same order as a clean departure: orphan the bag first, clear
+      // the cells, then the release-store of `active` publishes the
+      // nulls to the next make_handle.
+      for (Node* n : lease.retired) core::push_intrusive(orphans_, n);
+      for (auto& h : slots_[lease.slot].hp)
+        h.store(nullptr, std::memory_order_release);
+      slots_[lease.slot].active.store(false, std::memory_order_release);
+    }
+    parked_limbo_.fetch_sub(parked, std::memory_order_relaxed);
+    return leases.size();
+  }
+
+  /// Blast-radius snapshot (see faults::BlastStats): leaked_cells
+  /// counts the non-null hazard cells of crashed leases -- the exact
+  /// number of nodes a scan may have to quarantine because of the
+  /// crashes. No horizon_lag: HP has no epoch to stall.
+  faults::BlastStats blast_stats() const {
+    faults::BlastStats b;
+    b.leaked_nodes = leaked_count_.load(std::memory_order_relaxed);
+    b.parked_limbo = parked_limbo_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(crashed_mu_);
+    b.crashed_slots = crashed_.size();
+    for (const auto& lease : crashed_)
+      for (const auto& cell : slots_[lease.slot].hp)
+        if (cell.load(std::memory_order_acquire) != nullptr)
+          ++b.leaked_cells;
+    return b;
   }
 
  private:
@@ -243,11 +325,46 @@ class Hp {
     core::push_intrusive(orphans_, n);
   }
 
+  /// One abandoned handle: the slot it still occupies (cells possibly
+  /// still published) and its parked retire bag.
+  struct CrashedLease {
+    int slot;
+    std::vector<Node*> retired;
+  };
+
+  /// Park an abandoned handle's retire bag and record the lease. The
+  /// bag stays counted in limbo_ (retired, not freed); the slot stays
+  /// active so its cells keep quarantining until reap_crashed().
+  void park_crashed(int slot, std::vector<Node*>& retired) {
+    CrashedLease lease;
+    lease.slot = slot;
+    lease.retired = std::move(retired);
+    retired.clear();
+    std::lock_guard<std::mutex> lock(crashed_mu_);
+    parked_limbo_.fetch_add(lease.retired.size(),
+                            std::memory_order_relaxed);
+    crashed_.push_back(std::move(lease));
+  }
+
+  /// Attribute a kRetireSkipped leak: the node stays allocated (it is
+  /// outside limbo and the orphan stack) and is freed at teardown.
+  void leak_node(Node* n) {
+    std::lock_guard<std::mutex> lock(leaked_mu_);
+    leaked_.push_back(n);
+    leaked_count_.store(leaked_.size(), std::memory_order_relaxed);
+  }
+
   Slot slots_[kMaxHandles];
   std::atomic<Node*> orphans_{nullptr};
   std::atomic<std::size_t> allocated_{0};
   std::atomic<std::size_t> freed_{0};
   std::atomic<std::size_t> limbo_{0};
+  mutable std::mutex crashed_mu_;
+  std::vector<CrashedLease> crashed_;  // guarded by crashed_mu_
+  std::atomic<std::size_t> parked_limbo_{0};
+  std::mutex leaked_mu_;
+  std::vector<Node*> leaked_;  // guarded by leaked_mu_
+  std::atomic<std::size_t> leaked_count_{0};
 };
 
 }  // namespace pragmalist::reclaim

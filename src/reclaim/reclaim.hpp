@@ -49,6 +49,17 @@
 //   void protect(int slot, Node* n);  // hazard policies only
 //   void clear(int slot);             //
 //
+// Fault-injection surface (src/faults/faults.hpp): every Handle has
+//   void abandon(faults::FaultKind);  // the owner crashed: skip the
+//                                     // departure protocol, possibly
+//                                     // with a guard/cell still held;
+//                                     // the handle is dead afterwards
+// and the reclaiming policies add Handle::leak(Node*) (a
+// retire-skipped node the domain attributes) plus domain-level
+// reap_crashed() / blast_stats() for supervisor recovery and the
+// blast-radius metrics. Arena's abandon is a no-op -- it is
+// fault-oblivious by construction.
+//
 // Each policy header states its progress guarantee, worst-case memory
 // bound, and the traversal capabilities it demands of the engine.
 //

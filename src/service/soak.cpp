@@ -38,6 +38,13 @@ std::size_t SoakResult::peak_limbo() const {
   return peak;
 }
 
+double SoakResult::last_fault_ms() const {
+  double last = -1.0;
+  for (const auto& ev : fault_events)
+    if (ev.t_ms > last) last = ev.t_ms;
+  return last;
+}
+
 SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
   PRAGMALIST_CHECK(cfg.max_threads >= 1 && cfg.ticks >= 1,
                    "soak needs at least one worker and one tick");
@@ -79,9 +86,15 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
   std::mutex agg_mu;
   core::OpCounters agg;
   std::vector<std::unique_ptr<harness::LatencyProfile>> profiles;
+  // Injected crashes, appended as they fire (rare; never on the
+  // fault-free hot path). The sampler reads them to schedule reaps.
+  std::mutex fault_mu;
+  std::vector<SoakResult::FaultEvent> fault_events;
+  Clock::time_point start;  // set just before the first resize below
   auto body = [&](int worker_id, const std::atomic<bool>& stop) {
     auto handle = set.make_handle();
     workload::Rng rng(workload::thread_seed(cfg.seed, worker_id));
+    const faults::FaultSpec* fault = cfg.faults.find(worker_id);
     harness::LatencyProfile* lp = nullptr;
     if (cfg.record_latency) {
       auto owned = std::make_unique<harness::LatencyProfile>();
@@ -95,6 +108,19 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
           zipf ? (*zipf)(rng)
                : static_cast<long>(
                      rng.below(static_cast<std::uint64_t>(cfg.universe)));
+      if (fault != nullptr && local_ops >= fault->op_ordinal) {
+        // Crash now: the op this key was drawn for becomes the fault.
+        // The worker stops operating but its thread stays in the team
+        // until the schedule departs it -- a dead request handler
+        // nobody has joined yet. Counters still fold below: the
+        // op-level kinds count as removes, so the population ledger
+        // balances across crashes.
+        handle->abandon(fault->kind, key);
+        std::lock_guard<std::mutex> lock(fault_mu);
+        fault_events.push_back(
+            SoakResult::FaultEvent{worker_id, ms_since(start), fault->kind});
+        break;
+      }
       const workload::OpKind kind = cfg.mix.pick(rng);
       const std::uint64_t t0 = lp ? harness::lat_now_ns() : 0;
       harness::OpClass cls = harness::OpClass::kContains;
@@ -142,11 +168,14 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
 
   SoakResult result;
   result.series.reserve(static_cast<std::size_t>(cfg.ticks));
-  const auto start = Clock::now();
+  start = Clock::now();
   {
     harness::DynamicTeam team(body, cfg.pin);
     harness::LatencyProfile prev_cum;
     auto window_start = start;
+    // Reap bookkeeping: events whose reap deadline has passed, so one
+    // crash triggers exactly one supervisor pass.
+    std::size_t reaped_events = 0;
     for (int tick = 0; tick < cfg.ticks; ++tick) {
       const int target =
           thread_target(cfg.schedule, tick, cfg.ticks, cfg.max_threads);
@@ -173,6 +202,30 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
       s.ops = window_ops.exchange(0, std::memory_order_relaxed);
       s.footprint = set.allocated_nodes();
       s.limbo = set.limbo_nodes();
+      const faults::BlastStats bs = set.blast_stats();
+      s.leaked = bs.leaked_nodes;
+      s.crashed_slots = bs.crashed_slots;
+      s.leaked_cells = bs.leaked_cells;
+      s.parked_limbo = bs.parked_limbo;
+      s.horizon_lag = bs.horizon_lag;
+      // Supervisor pass: reap every crashed lease whose fault fired at
+      // least reap_delay_ticks ago (the detection latency a real
+      // supervisor would have). reap_crashed releases *all* crashed
+      // leases, so one pass may cover several due events.
+      if (!cfg.faults.empty()) {
+        std::size_t due = 0;
+        {
+          std::lock_guard<std::mutex> lock(fault_mu);
+          for (const auto& ev : fault_events)
+            if (s.t_ms - ev.t_ms >=
+                static_cast<double>(cfg.reap_delay_ticks * cfg.tick_ms))
+              ++due;
+        }
+        if (due > reaped_events) {
+          result.reaps += static_cast<int>(set.reap_crashed());
+          reaped_events = due;
+        }
+      }
       if (cfg.record_latency) {
         harness::LatencyProfile cum = merge_profiles();
         harness::LatencyProfile interval = cum;
@@ -191,8 +244,14 @@ SoakResult run_soak(core::ISet& set, const SoakConfig& cfg) {
     team.resize(0);  // join everyone before the clock stops
     result.arrivals = team.arrivals();
   }
+  // Final supervisor pass: whatever the per-tick reaper did not get to
+  // (a fault in the last reap_delay_ticks window) is recovered before
+  // the quiescent checks, like a service draining before shutdown.
+  if (!cfg.faults.empty())
+    result.reaps += static_cast<int>(set.reap_crashed());
   result.ms = ms_since(start);
   result.agg = agg;
+  result.fault_events = std::move(fault_events);
   if (cfg.record_latency) result.latency = merge_profiles();
   // All handles are closed, so the per-shard ledgers are complete.
   result.shard_ops = set.shard_ops();

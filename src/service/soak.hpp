@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/iset.hpp"
+#include "src/faults/faults.hpp"
 #include "src/harness/latency.hpp"
 #include "src/service/schedule.hpp"
 #include "src/workload/op_mix.hpp"
@@ -48,6 +49,17 @@ struct SoakConfig {
   // default so latency-blind soaks cost nothing extra (two clock reads
   // per op when on).
   bool record_latency = false;
+  // Crash schedule (src/faults/faults.hpp): worker arrival id ->
+  // (op ordinal, fault kind). A planned worker injects its fault when
+  // it has completed that many ops, then stops operating -- the thread
+  // idles in the team until the schedule departs it, like a dead
+  // request handler nobody has joined yet. Empty = every worker is
+  // well-behaved.
+  faults::FaultPlan faults;
+  // Supervisor latency: a crashed lease is reaped (ISet::reap_crashed)
+  // this many ticks after its fault fired, and once more at the end of
+  // the run. Models the detection delay of a real service supervisor.
+  int reap_delay_ticks = 2;
 };
 
 /// One per-tick observation. `ops` is the number of operations
@@ -73,6 +85,13 @@ struct SoakSample {
   double p99_us = 0.0;
   double p999_us = 0.0;
   double max_us = 0.0;
+  // Blast-radius columns (ISet::blast_stats at sample time, see
+  // faults::BlastStats) -- all zero on a fault-free run.
+  std::size_t leaked = 0;         // attributed retire-skipped nodes
+  std::size_t crashed_slots = 0;  // abandoned, not-yet-reaped leases
+  std::size_t leaked_cells = 0;   // hazard cells published by the dead
+  std::size_t parked_limbo = 0;   // limbo parked on crashed leases
+  std::uint64_t horizon_lag = 0;  // EBR epoch minus its horizon
 
   /// Window throughput normalized by the measured duration.
   double kops_per_sec() const {
@@ -81,11 +100,23 @@ struct SoakSample {
 };
 
 struct SoakResult {
+  /// One injected crash, as it actually fired.
+  struct FaultEvent {
+    int worker = 0;      // arrival id
+    double t_ms = 0.0;   // wall time since soak start
+    faults::FaultKind kind = faults::FaultKind::kMidOpAbandon;
+  };
+
   std::vector<SoakSample> series;
   core::OpCounters agg;  // every worker that ran, departed or not
   double ms = 0.0;       // whole soak wall time
   int arrivals = 0;      // handles opened over the run
   int peak_threads = 0;
+  // Crashes injected (in firing order) and supervisor reap count. A
+  // planned fault can fail to fire only if its worker never reached
+  // its op ordinal before the run ended.
+  std::vector<FaultEvent> fault_events;
+  int reaps = 0;
   // Per-shard routed op counts, read quiescently after the last worker
   // departed; empty for unsharded ids. bench_soak prints min/max and
   // the max/min imbalance so skewed runs show their hot shards.
@@ -100,6 +131,9 @@ struct SoakResult {
   }
   std::size_t peak_footprint() const;
   std::size_t peak_limbo() const;
+  /// Wall time of the last injected fault, or -1 when none fired.
+  /// bench_faults measures recovery time from this instant.
+  double last_fault_ms() const;
 };
 
 /// Run the soak. On return all workers have departed, so the set is

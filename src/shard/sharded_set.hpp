@@ -36,14 +36,28 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/common/debug.hpp"
 #include "src/core/iset.hpp"
+#include "src/faults/faults.hpp"
 #include "src/shard/shard_map.hpp"
 
 namespace pragmalist::shard {
+
+namespace detail {
+// Engines expose op-level fault injection (Handle::abandon(kind, key));
+// the Michael baselines do not -- for them an op-level "crash" degrades
+// to a clean no-op, matching ISetHandle's default.
+template <typename T, typename = void>
+struct HasOpAbandon : std::false_type {};
+template <typename T>
+struct HasOpAbandon<T, std::void_t<decltype(std::declval<T&>().abandon(
+                           faults::FaultKind::kMidOpAbandon, 0L))>>
+    : std::true_type {};
+}  // namespace detail
 
 template <typename Engine>
 class ShardedSet {
@@ -91,6 +105,20 @@ class ShardedSet {
       core::OpCounters agg = scan_ctr_;
       for (const auto& h : handles_) agg += h.counters();
       return agg;
+    }
+
+    /// Fault injection: op-level kinds route to `key`'s shard like any
+    /// other op; lease-level kinds crash the ONE reclaim handle this
+    /// worker leased for the whole set -- which is the point: a single
+    /// crashed worker's blast radius covers every shard at once,
+    /// because reclamation state is per thread, not per shard.
+    void abandon(faults::FaultKind k, long key) {
+      if (faults::is_op_fault(k)) {
+        if constexpr (detail::HasOpAbandon<typename Engine::Handle>::value)
+          handles_[set_->shard_of(key)].abandon(k, key);
+      } else {
+        rh_->abandon(k);
+      }
     }
 
     // Default move is safe: the engine handles point at *rh_, whose
@@ -251,6 +279,22 @@ class ShardedSet {
       return domain_->limbo_nodes();
     else
       return 0;
+  }
+
+  /// Supervisor recovery and blast-radius metrics: one shared domain,
+  /// so one call covers every shard (no-op / all-zero under the
+  /// arena). See src/faults/faults.hpp.
+  std::size_t reap_crashed() {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->reap_crashed();
+    else
+      return 0;
+  }
+  faults::BlastStats blast_stats() const {
+    if constexpr (Reclaim::kReclaims)
+      return domain_->blast_stats();
+    else
+      return {};
   }
 
   int shard_count() const { return static_cast<int>(shards_.size()); }

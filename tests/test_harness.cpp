@@ -207,6 +207,28 @@ TEST(Stats, SummarizeSmallSamples) {
   EXPECT_DOUBLE_EQ(two.stddev, std::sqrt(2.0));
 }
 
+TEST(Table, SummaryCellsRenderEmDashNotNanWhenSpreadIsUndefined) {
+  // n < 2: stddev is NaN by design, but nothing downstream may print
+  // "nan" -- the table shows an em dash and the CSV leaves the stddev
+  // field empty (distinguishable from a real 0.0).
+  const auto one = harness::summarize({12.34});
+  EXPECT_EQ(harness::summary_cell(one, 1), "12.3 —");
+  EXPECT_EQ(harness::stddev_cell(one, 1), "—");
+  EXPECT_EQ(harness::summary_csv_fields(one, 1), "12.3,");
+
+  // n >= 2: spread exists, rendered as +-value at the asked precision.
+  const auto two = harness::summarize({1.0, 3.0});  // stddev sqrt(2)
+  EXPECT_EQ(harness::summary_cell(two, 2), "2.00 ±1.41");
+  EXPECT_EQ(harness::stddev_cell(two, 2), "±1.41");
+  EXPECT_EQ(harness::summary_csv_fields(two, 2), "2.00,1.41");
+
+  // The empty summary (no samples at all) renders the dash too, never
+  // "nan" for the mean's neighbour.
+  const auto none = harness::summarize({});
+  EXPECT_EQ(harness::stddev_cell(none, 1), "—");
+  EXPECT_EQ(harness::summary_csv_fields(none, 0).back(), ',');
+}
+
 TEST(Table, RendersRowsAndCsv) {
   harness::RunResult r;
   r.ms = 12.5;

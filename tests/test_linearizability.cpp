@@ -22,6 +22,14 @@
 // provide that (see the AcceptsWeaklyConsistentScan self-test for the
 // distinguishing history), and the self-tests pin both sides of the
 // boundary.
+//
+// Crashed threads (the fault tier's mid-op abandonment) record a final
+// *pending* op: invoked, never responded. Wing & Gong's rule for a
+// pending op is a branch point -- it either never took effect (skip it
+// with no state change) or linearized somewhere after its invocation
+// with a result nobody observed (apply the transition, any result).
+// What a crash can NOT do is un-happen a completed op; the
+// RejectsAContainsTrueAfterACompletedRemove self-test pins that.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -32,9 +40,11 @@
 #include <vector>
 
 #include "src/baselines/sequential_list.hpp"
+#include "src/faults/faults.hpp"
 #include "src/harness/catalog.hpp"
 #include "src/harness/thread_team.hpp"
 #include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
 
 namespace pragmalist {
 namespace {
@@ -55,7 +65,15 @@ struct Op {
   // the scan reported for [key, hi].
   long hi = 0;
   unsigned observed = 0;
+  // The thread crashed after invoking this op and never saw a
+  // response: `ok` is meaningless and `res` must be kNever so the op
+  // constrains nobody's real-time order. Always a thread's last op.
+  bool pending = false;
 };
+
+/// The response tick of an op that never responded: later than every
+/// real tick, so `min_res` is never lowered by a crashed op.
+constexpr long kNever = std::numeric_limits<long>::max();
 
 using History = std::vector<std::vector<Op>>;  // [thread][op order]
 
@@ -158,6 +176,26 @@ class LinChecker {
         }
         continue;
       }
+      if (o.pending) {
+        // Crashed before responding. Branch 1: the op never took
+        // effect -- drop it from the history with no state change.
+        // (Deferring this branch behind the real-time gate above is
+        // harmless: skipping linearizes nothing, so "skip now" and
+        // "skip later" reach the same states.)
+        ++frontier[t];
+        bool ok = dfs(frontier, scan_done, state);
+        if (!ok) {
+          // Branch 2: it linearized somewhere after its invocation
+          // with a result nobody observed -- apply the transition and
+          // accept whatever the oracle returns.
+          unsigned next = state;
+          oracle_apply(o.kind, o.key, next);
+          ok = dfs(frontier, scan_done, next);
+        }
+        --frontier[t];
+        if (ok) return true;
+        continue;
+      }
       unsigned next = state;
       if (oracle_apply(o.kind, o.key, next) != o.ok) continue;
       ++frontier[t];
@@ -250,6 +288,55 @@ History record_scan_history(core::ISet& set, std::uint64_t seed) {
             case kRemove: op.ok = h->remove(op.key); break;
             case kContains: op.ok = h->contains(op.key); break;
             case kScan: break;  // handled above
+          }
+          op.res = clock.fetch_add(1);
+          ops.push_back(op);
+        }
+      },
+      /*pin=*/false);
+  return hist;
+}
+
+/// Like record_history, but two threads crash mid-history the way the
+/// fault tier crashes them: thread 0 dies *inside* a remove (mid-op
+/// abandonment -- it may or may not have taken effect, recorded as a
+/// pending op), thread 1 dies *between* ops holding its guard
+/// (abort-with-guard-held -- no pending op, just a truncated history
+/// and, under EBR/HP, a crashed lease for the supervisor to reap).
+History record_crash_history(core::ISet& set, std::uint64_t seed) {
+  History hist(kThreads);
+  std::atomic<long> clock{0};
+  harness::run_team(
+      kThreads,
+      [&](int t) {
+        auto h = set.make_handle();
+        workload::Rng rng(workload::thread_seed(seed, t));
+        auto& ops = hist[static_cast<std::size_t>(t)];
+        ops.reserve(kOpsPerThread);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          Op op;
+          op.key = static_cast<long>(rng.below(kKeys));
+          if (t == 0 && i == 10) {
+            op.kind = kRemove;
+            op.pending = true;
+            op.inv = clock.fetch_add(1);
+            op.res = kNever;
+            h->abandon(faults::FaultKind::kMidOpAbandon, op.key);
+            ops.push_back(op);
+            return;  // crashed: no response, no further ops
+          }
+          if (t == 1 && i == 15) {
+            h->abandon(faults::FaultKind::kAbortWithGuardHeld, op.key);
+            return;  // crashed between ops: history just truncates
+          }
+          const auto roll = rng.below(100);
+          op.kind = roll < 40 ? kAdd : roll < 80 ? kRemove : kContains;
+          op.inv = clock.fetch_add(1);
+          switch (op.kind) {
+            case kAdd: op.ok = h->add(op.key); break;
+            case kRemove: op.ok = h->remove(op.key); break;
+            case kContains: op.ok = h->contains(op.key); break;
+            case kScan: break;  // this recorder draws no scans
           }
           op.res = clock.fetch_add(1);
           ops.push_back(op);
@@ -367,6 +454,38 @@ TEST(LinCheckerSelfTest, ScanReadsNeverReorderOtherThreadsOps) {
   EXPECT_TRUE(LinChecker(hist).linearizable(0));
 }
 
+// --- crashed-thread (pending op) self-tests --------------------------
+
+TEST(LinCheckerSelfTest, AcceptsACrashedAddThatTookEffect) {
+  // T0 invokes add(0) and crashes; T1 later reads 0 present. Only the
+  // "took effect" branch explains it -- the checker must find it.
+  History hist(2);
+  hist[0].push_back({kAdd, 0, false, 0, kNever, 0, 0, true});
+  hist[1].push_back({kContains, 0, true, 1, 2});
+  EXPECT_TRUE(LinChecker(hist).linearizable(0));
+}
+
+TEST(LinCheckerSelfTest, AcceptsACrashedAddThatNeverHappened) {
+  // Same crash, but T1 reads 0 absent: the "never took effect" branch
+  // explains it. A crashed op constrains nothing either way.
+  History hist(2);
+  hist[0].push_back({kAdd, 0, false, 0, kNever, 0, 0, true});
+  hist[1].push_back({kContains, 0, false, 1, 2});
+  EXPECT_TRUE(LinChecker(hist).linearizable(0));
+}
+
+TEST(LinCheckerSelfTest, RejectsAContainsTrueAfterACompletedRemove) {
+  // T0 completed remove(0) before crashing on an unrelated key-1 op;
+  // T1 then reads 0 present. The crash cannot un-happen the remove,
+  // and the pending op touches the wrong key: no order explains it.
+  History hist(2);
+  hist[0].push_back({kAdd, 0, true, 0, 1});
+  hist[0].push_back({kRemove, 0, true, 2, 3});
+  hist[0].push_back({kAdd, 1, false, 4, kNever, 0, 0, true});
+  hist[1].push_back({kContains, 0, true, 5, 6});
+  EXPECT_FALSE(LinChecker(hist).linearizable(0));
+}
+
 // The bitmask model above *is* the sequential oracle: cross-check it
 // against baselines::SequentialList on a long random schedule so the
 // linearizability verdicts inherit the oracle's authority.
@@ -443,6 +562,27 @@ TEST_P(EveryPragmaticCombo, ScanHistoriesAreLinearizable) {
     ASSERT_TRUE(set->validate(&err)) << err;
     EXPECT_TRUE(LinChecker(hist).linearizable(0))
         << GetParam() << ": scan history with seed " << seed
+        << " admits no linearization";
+  }
+}
+
+// The crash tier: histories where thread 0 dies inside a remove and
+// thread 1 dies holding its guard must still be explainable under the
+// pending-op rule -- and stay explainable after the supervisor reaps
+// the crashed leases (a reap that resurrected or lost a key would have
+// produced the evidence *during* the recording of the next seed's
+// survivors; validate() catches structural damage immediately).
+TEST_P(EveryPragmaticCombo, CrashHistoriesAreLinearizable) {
+  const std::uint64_t base = test::env_seed(80);
+  for (std::uint64_t seed = base; seed < base + 4; ++seed) {
+    test::ReproOnFailure repro(seed);
+    auto set = harness::make_set(GetParam());
+    const History hist = record_crash_history(*set, seed);
+    set->reap_crashed();
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << err;
+    EXPECT_TRUE(LinChecker(hist).linearizable(0))
+        << GetParam() << ": crash history with seed " << seed
         << " admits no linearization";
   }
 }

@@ -20,6 +20,7 @@
 #include "src/harness/catalog.hpp"
 #include "src/harness/thread_team.hpp"
 #include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
 
 namespace pragmalist {
 namespace {
@@ -107,10 +108,12 @@ INSTANTIATE_TEST_SUITE_P(
 // live-set + per-handle garbage, not by the total churn volume, and
 // every quiescent checkpoint mid-churn must see an intact structure.
 TEST_P(EveryReclaimCombo, ChurnKeepsFootprintBoundedAndStructureValid) {
+  const std::uint64_t seed = test::env_seed(1000);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set(GetParam());
   core::OpCounters agg;
   for (int phase = 0; phase < kPhases; ++phase) {
-    agg += churn_phase(*set, 1000 + static_cast<std::uint64_t>(phase));
+    agg += churn_phase(*set, seed + static_cast<std::uint64_t>(phase));
 
     // Quiescent checkpoint: all workers joined, handles destroyed.
     std::string err;
@@ -133,12 +136,14 @@ TEST_P(EveryReclaimCombo, ChurnKeepsFootprintBoundedAndStructureValid) {
 // This is the contrast that proves the bounded assertion above is
 // measuring reclamation and not a miscounting ledger.
 TEST(ArenaContrast, ArenaFootprintGrowsWithEveryInsert) {
+  const std::uint64_t seed = test::env_seed(2000);
+  test::ReproOnFailure repro(seed);
   for (const std::string_view id :
        {std::string_view("singly"), std::string_view("doubly_cursor")}) {
     auto set = harness::make_set(id);
     core::OpCounters agg;
     for (int phase = 0; phase < 2; ++phase)
-      agg += churn_phase(*set, 2000 + static_cast<std::uint64_t>(phase));
+      agg += churn_phase(*set, seed + static_cast<std::uint64_t>(phase));
     std::string err;
     ASSERT_TRUE(set->validate(&err)) << err;
     EXPECT_EQ(set->allocated_nodes(),
@@ -170,6 +175,8 @@ TEST(HandleLifecycle, SlotsAreReleasedAndLeftoversParked) {
 // rows) and abort in make_handle.
 TEST(HandleLifecycle, ShardedWorkersCostOneSlotNotOnePerShard) {
   constexpr int kWorkers = 200;  // > 256 / 8, well under 256
+  const std::uint64_t seed = test::env_seed(77);
+  test::ReproOnFailure repro(seed);
   for (const std::string_view id : {std::string_view("singly/ebr/sh8"),
                                     std::string_view("singly_cursor/hp/sh8")}) {
     auto set = harness::make_set(id);
@@ -177,7 +184,7 @@ TEST(HandleLifecycle, ShardedWorkersCostOneSlotNotOnePerShard) {
         kWorkers,
         [&](int t) {
           auto h = set->make_handle();
-          workload::Rng rng(workload::thread_seed(77, t));
+          workload::Rng rng(workload::thread_seed(seed, t));
           for (long i = 0; i < 200; ++i) {
             const long k = static_cast<long>(rng.below(kUniverse));
             if (rng.below(2) == 0)
@@ -207,13 +214,15 @@ TEST(HandleLifecycle, ShardedWorkersCostOneSlotNotOnePerShard) {
 // plus its sh4 sharded counterpart (where the scanner is the k-way
 // merge over one shared domain).
 TEST_P(EveryReclaimCombo, LongRunningScansNeverObserveAFreedNode) {
+  const std::uint64_t seed = test::env_seed(4000);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set(GetParam());
   std::atomic<int> churners{kThreads};
   harness::run_team(
       kThreads + 2,
       [&](int t) {
         auto h = set->make_handle();
-        workload::Rng rng(workload::thread_seed(4000, t));
+        workload::Rng rng(workload::thread_seed(seed, t));
         if (t < kThreads) {
           for (long i = 0; i < kOpsPerPhase; ++i) {
             const long k = static_cast<long>(rng.below(kUniverse));
@@ -280,6 +289,8 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST_P(EveryVariantMidChurn, QuiescentCheckpointSeesIntactStructure) {
+  const std::uint64_t seed = test::env_seed(3000);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set(GetParam());
   core::OpCounters agg;
   for (int phase = 0; phase < 2; ++phase) {
@@ -289,7 +300,7 @@ TEST_P(EveryVariantMidChurn, QuiescentCheckpointSeesIntactStructure) {
         [&](int t) {
           auto h = set->make_handle();
           workload::Rng rng(workload::thread_seed(
-              3000 + static_cast<std::uint64_t>(phase), t));
+              seed + static_cast<std::uint64_t>(phase), t));
           for (long i = 0; i < 1500; ++i) {
             const long k = static_cast<long>(rng.below(kUniverse));
             if (rng.below(2) == 0)

@@ -15,6 +15,7 @@
 
 #include "src/harness/catalog.hpp"
 #include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
 
 namespace pragmalist {
 namespace {
@@ -64,7 +65,9 @@ std::set<long> populate(core::ISetHandle& h, std::uint64_t seed) {
 TEST_P(EveryScannable, RangeScanMatchesASetOracle) {
   auto set = harness::make_set(GetParam());
   auto h = set->make_handle();
-  const std::set<long> oracle = populate(*h, 7);
+  const std::uint64_t seed = test::env_seed(7);
+  test::ReproOnFailure repro(seed);
+  const std::set<long> oracle = populate(*h, seed);
 
   const std::pair<long, long> windows[] = {
       {0, kUniverse - 1},                     // the whole universe
@@ -91,7 +94,9 @@ TEST_P(EveryScannable, RangeScanMatchesASetOracle) {
 TEST_P(EveryScannable, QuiescentFullScanIsTheSnapshot) {
   auto set = harness::make_set(GetParam());
   auto h = set->make_handle();
-  populate(*h, 11);
+  const std::uint64_t seed = test::env_seed(11);
+  test::ReproOnFailure repro(seed);
+  populate(*h, seed);
   std::vector<long> scanned;
   h->range_scan(std::numeric_limits<long>::min(),
                 std::numeric_limits<long>::max(),
@@ -103,7 +108,9 @@ TEST_P(EveryScannable, QuiescentFullScanIsTheSnapshot) {
 TEST_P(EveryScannable, AscendPagesTheWholeKeySpace) {
   auto set = harness::make_set(GetParam());
   auto h = set->make_handle();
-  populate(*h, 13);
+  const std::uint64_t seed = test::env_seed(13);
+  test::ReproOnFailure repro(seed);
+  populate(*h, seed);
 
   // Page with an odd size so the last page is short; the concatenation
   // must be exactly the snapshot, each page internally sorted and

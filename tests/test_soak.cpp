@@ -18,6 +18,7 @@
 #include "src/harness/thread_team.hpp"
 #include "src/service/soak.hpp"
 #include "src/workload/rng.hpp"
+#include "tests/test_util.hpp"
 
 namespace pragmalist {
 namespace {
@@ -46,7 +47,8 @@ std::size_t sample_bound(const std::vector<service::SoakSample>& series,
   return quiescent_bound() + static_cast<std::size_t>(2 * window);
 }
 
-service::SoakConfig short_soak(service::SoakSchedule schedule) {
+service::SoakConfig short_soak(service::SoakSchedule schedule,
+                               std::uint64_t seed) {
   service::SoakConfig cfg;
   cfg.schedule = schedule;
   cfg.max_threads = kMaxThreads;
@@ -54,7 +56,7 @@ service::SoakConfig short_soak(service::SoakSchedule schedule) {
   cfg.tick_ms = 25;
   cfg.universe = kUniverse;
   cfg.prefill = kUniverse / 4;
-  cfg.seed = 7;
+  cfg.seed = seed;
   cfg.pin = false;
   return cfg;
 }
@@ -74,8 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
 // The acceptance bar of the service-mode subsystem: thread count
 // varies mid-run on the ramp schedule and both series stay bounded.
 TEST_P(EverySoakCombo, RampSoakKeepsFootprintAndLimboBounded) {
+  const std::uint64_t seed = test::env_seed(7);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set(GetParam());
-  const auto cfg = short_soak(service::SoakSchedule::kRamp);
+  const auto cfg = short_soak(service::SoakSchedule::kRamp, seed);
   const auto r = service::run_soak(*set, cfg);
 
   // The membership actually changed mid-run.
@@ -111,8 +115,10 @@ TEST_P(EverySoakCombo, RampSoakKeepsFootprintAndLimboBounded) {
 // garbage: everyone but one worker leaves at once, and that lone
 // straggler must adopt and free what the leavers retired.
 TEST_P(EverySoakCombo, StragglersSoakDrainsDepartedGarbage) {
+  const std::uint64_t seed = test::env_seed(7);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set(GetParam());
-  const auto cfg = short_soak(service::SoakSchedule::kStragglers);
+  const auto cfg = short_soak(service::SoakSchedule::kStragglers, seed);
   const auto r = service::run_soak(*set, cfg);
 
   for (std::size_t i = 0; i < r.series.size(); ++i)
@@ -130,10 +136,12 @@ TEST_P(EverySoakCombo, StragglersSoakDrainsDepartedGarbage) {
 // *re-arrive*: more total arrivals than the pool maximum, each new
 // arrival re-leasing a slot some departed worker gave back.
 TEST(BurstSoak, ReArrivalsReuseReclaimerSlots) {
+  const std::uint64_t seed = test::env_seed(7);
+  test::ReproOnFailure repro(seed);
   for (const std::string_view id : {std::string_view("singly_fetch_or/ebr"),
                                     std::string_view("doubly_cursor/hp")}) {
     auto set = harness::make_set(id);
-    const auto cfg = short_soak(service::SoakSchedule::kBurst);
+    const auto cfg = short_soak(service::SoakSchedule::kBurst, seed);
     const auto r = service::run_soak(*set, cfg);
     EXPECT_GT(r.arrivals, kMaxThreads) << id;  // the second spike re-hired
     for (std::size_t i = 0; i < r.series.size(); ++i)
@@ -153,11 +161,13 @@ TEST(BurstSoak, ReArrivalsReuseReclaimerSlots) {
 // handle per worker); and the driver's quiescent per-shard ledger must
 // account for every routed operation, workers and prefill alike.
 TEST(ShardedSoak, RampSoakStaysBoundedAndLedgersCoverEveryOp) {
+  const std::uint64_t seed = test::env_seed(7);
+  test::ReproOnFailure repro(seed);
   for (const std::string_view id : {std::string_view("singly/ebr/sh8"),
                                     std::string_view("singly_cursor/hp/sh8"),
                                     std::string_view("doubly/ebr/sh4")}) {
     auto set = harness::make_set(id);
-    const auto cfg = short_soak(service::SoakSchedule::kRamp);
+    const auto cfg = short_soak(service::SoakSchedule::kRamp, seed);
     const auto r = service::run_soak(*set, cfg);
 
     for (std::size_t i = 0; i < r.series.size(); ++i) {
@@ -189,12 +199,14 @@ TEST(ShardedSoak, RampSoakStaysBoundedAndLedgersCoverEveryOp) {
 // domain has hazard slots (256), each departure orphaning retirees.
 // Exercised under TSan in CI; the bound proves adoption keeps up.
 TEST(ConcurrentSlotReuse, HpHandleChurnAgainstLiveCursorTraffic) {
+  const std::uint64_t seed = test::env_seed(11);
+  test::ReproOnFailure repro(seed);
   auto set = harness::make_set("singly_cursor/hp");
   constexpr int kCyclesPerThread = 150;  // 2 x 150 + 1 > 256 slots
   harness::run_team(
       3,
       [&](int t) {
-        workload::Rng rng(workload::thread_seed(11, t));
+        workload::Rng rng(workload::thread_seed(seed, t));
         if (t == 0) {
           // Long-lived handle: its persistent cursor cell must never
           // be spoofed by departing threads' slot hand-overs.
@@ -235,13 +247,15 @@ TEST(ConcurrentSlotReuse, HpHandleChurnAgainstLiveCursorTraffic) {
 // bags in the orphan pool; the survivor's guard-release passes must
 // drain it, or the footprint outgrows the bound.
 TEST(ConcurrentSlotReuse, EbrHandleChurnIsAdoptedByTheSurvivor) {
+  const std::uint64_t seed = test::env_seed(13);
+  test::ReproOnFailure repro(seed);
   for (const std::string_view id :
        {std::string_view("singly/ebr"), std::string_view("doubly/ebr")}) {
     auto set = harness::make_set(id);
     harness::run_team(
         3,
         [&](int t) {
-          workload::Rng rng(workload::thread_seed(13, t));
+          workload::Rng rng(workload::thread_seed(seed, t));
           if (t == 0) {
             auto h = set->make_handle();
             for (long i = 0; i < 12000; ++i) {
