@@ -66,6 +66,7 @@ struct CellResult {
   int injected[faults::kNumFaultKinds] = {0, 0, 0, 0};  // min over reps
   int reaps = 0;                 // min over reps
   std::size_t leaked = 0;        // max end-of-run attributed leak
+  std::size_t leaked_slabs = 0;  // max slabs pinned by those leaks
   std::size_t fp_peak = 0;       // max over reps
   std::size_t limbo_peak = 0;    // max over reps
   bool recovered = true;         // every rep: all faults fired + clean
@@ -106,8 +107,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> bases = opt.get_string_list("ids", {});
   if (bases.empty() || (bases.size() == 1 && bases.front() == "all"))
-    bases = {"draconic",      "singly",          "doubly",
-             "singly_cursor", "singly_fetch_or", "doubly_cursor"};
+    bases = {"draconic",      "singly",          "doubly",      "singly_cursor",
+             "singly_fetch_or", "doubly_cursor", "unrolled_k8"};
   std::vector<std::string> domains = opt.get_string_list("reclaim", {});
   if (domains.empty()) domains = {"arena", "ebr", "hp"};
 
@@ -149,10 +150,12 @@ int main(int argc, char** argv) {
 
   std::ofstream csv("bench_faults.csv");
   if (csv)
+    // leaked_slabs appended LAST: every existing awk gate addresses
+    // columns by fixed index.
     csv << "id,base,reclaim,shards,reps,kops_mean,kops_sd,recovery_ms_mean,"
            "recovery_ms_sd,inj_guard_held,inj_retire_skipped,inj_depart,"
            "inj_midop,leaked,reaps,fp_peak,twin_fp_peak,limbo_peak,"
-           "twin_limbo_peak,recovered\n";
+           "twin_limbo_peak,recovered,leaked_slabs\n";
 
   for (const auto& cell : cells) {
     // Fault-free twin first: same everything, empty plan. Its peaks
@@ -203,6 +206,7 @@ int main(int argc, char** argv) {
       res.reaps = std::min(res.reaps, r.reaps);
       const faults::BlastStats end = set->blast_stats();
       res.leaked = std::max(res.leaked, end.leaked_nodes);
+      res.leaked_slabs = std::max(res.leaked_slabs, end.leaked_slabs);
       res.fp_peak = std::max(res.fp_peak, r.peak_footprint());
       res.limbo_peak = std::max(res.limbo_peak, r.peak_limbo());
     }
@@ -235,7 +239,7 @@ int main(int argc, char** argv) {
         csv << res.injected[i] << ",";
       csv << res.leaked << "," << res.reaps << "," << res.fp_peak << ","
           << twin_fp << "," << res.limbo_peak << "," << twin_limbo << ","
-          << (res.recovered ? 1 : 0) << "\n";
+          << (res.recovered ? 1 : 0) << "," << res.leaked_slabs << "\n";
     }
   }
   if (csv) std::cout << "\ncsv: bench_faults.csv\n";

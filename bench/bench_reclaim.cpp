@@ -30,6 +30,14 @@
 // clock-read-free op loop (the honest-throughput baseline; the smoke
 // grid regresses <= 3% vs pre-latency builds in that mode).
 //
+// Every cell in views 1 and 3 runs twice: once with nodes allocated
+// from the domain's slab pool (the catalog default) and once as the
+// `/heap` twin (plain malloc per node). The twin rows price the slab
+// allocator directly -- same engine, same schedule, only the node
+// memory differs. The grid also carries the unrolled fat-node family
+// (unrolled_k8: K=8 sorted keys per cache-line-sized node) next to
+// the paper rows.
+//
 //   bench_reclaim [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
 //                 [--variants a,c,e | all] [--no-pin] [--no-latency]
 //                 [--shards 1,4,16] [--dist uniform|zipf] [--theta T]
@@ -65,20 +73,23 @@ int main(int argc, char** argv) {
   const workload::OpMix mix = workload::kScalingMix;
   const bool latency = bench::latency_enabled(opt);
 
-  // --variants takes paper row letters (a,c,e) or ids, default all six.
+  // --variants takes paper row letters (a,c,e) or ids; default is all
+  // six paper rows plus the unrolled fat-node family.
   std::vector<std::string_view> variants;
   {
+    std::vector<std::string_view> candidates(harness::paper_variant_ids());
+    candidates.push_back("unrolled_k8");
     const std::vector<std::string> tokens =
         opt.get_string_list("variants", {"all"});
     const bool all = tokens.size() == 1 && tokens.front() == "all";
-    for (const std::string_view id : harness::paper_variant_ids()) {
+    for (const std::string_view id : candidates) {
       bool wanted = all;
       for (const auto& tok : tokens)
         wanted |= tok == id || tok == harness::variant_letter(id);
       if (wanted) variants.push_back(id);
     }
     PRAGMALIST_CHECK(!variants.empty(),
-                     "--variants matched none of the paper rows a-f");
+                     "--variants matched none of the rows a-f/unrolled_k8");
   }
   const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
 
@@ -94,10 +105,13 @@ int main(int argc, char** argv) {
   };
 
   // --- view 1: variant x reclaimer grid ------------------------------
+  // Two rows per variant: the slab row (catalog default) and its
+  // `/heap` malloc twin, so the node-memory cost reads straight down
+  // the column.
   std::cout << "Reclamation grid, mix 25/25/50, p=" << p << ", c=" << c
             << ", u=" << universe
             << " (kops/s; fp = nodes still allocated after the run)\n\n";
-  std::cout << std::left << std::setw(22) << "variant";
+  std::cout << std::left << std::setw(28) << "variant";
   for (const auto r : reclaimers)
     std::cout << std::right << std::setw(12) << r << std::setw(10) << "fp";
   std::cout << "\n";
@@ -105,19 +119,25 @@ int main(int argc, char** argv) {
   std::vector<harness::TableRow> csv_rows;
   std::vector<harness::LatencyRow> lat_rows;
   for (const auto v : variants) {
-    std::cout << std::left << std::setw(22) << bench::row_label(v);
-    for (const auto r : reclaimers) {
-      const std::string id =
-          r == "arena" ? std::string(v) : std::string(v) + "/" + std::string(r);
-      const Cell cell = run_one(id);
-      std::cout << std::right << std::setw(12) << std::fixed
-                << std::setprecision(0) << cell.result.kops_per_sec()
-                << std::setw(10) << cell.footprint;
-      const std::string label = std::string(v) + "/" + std::string(r);
-      if (latency) lat_rows.push_back({label, cell.latency});
-      csv_rows.push_back({label, cell.result});
+    for (const std::string_view mem : {"", "/heap"}) {
+      std::cout << std::left << std::setw(28)
+                << bench::row_label(v) + std::string(mem);
+      for (const auto r : reclaimers) {
+        const std::string id = (r == "arena" ? std::string(v)
+                                             : std::string(v) + "/" +
+                                                   std::string(r)) +
+                               std::string(mem);
+        const Cell cell = run_one(id);
+        std::cout << std::right << std::setw(12) << std::fixed
+                  << std::setprecision(0) << cell.result.kops_per_sec()
+                  << std::setw(10) << cell.footprint;
+        const std::string label =
+            std::string(v) + "/" + std::string(r) + std::string(mem);
+        if (latency) lat_rows.push_back({label, cell.latency});
+        csv_rows.push_back({label, cell.result});
+      }
+      std::cout << "\n";
     }
-    std::cout << "\n";
   }
   std::cout << "\n";
   if (!lat_rows.empty())
@@ -161,29 +181,36 @@ int main(int argc, char** argv) {
         const std::string base = std::string(v) + "/" + std::string(r);
         for (const long n : shard_counts) {
           if (n < 1) continue;
-          const std::string id =
-              n == 1 ? base : base + "/sh" + std::to_string(n);
-          auto set = harness::make_set(id);
-          harness::LatencyProfile lat;
-          harness::RunResult res = harness::run_random_mix(
-              *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist, {},
-              latency ? &lat : nullptr);
-          bench::check_valid(*set);
-          std::cout << std::left << std::setw(26) << base << std::right
-                    << std::setw(6) << n << std::setw(12) << std::fixed
-                    << std::setprecision(0) << res.kops_per_sec()
-                    << std::setw(10) << set->allocated_nodes()
-                    << std::setw(10) << set->limbo_nodes() << "\n";
-          const std::string load = harness::shard_load_line(*set);
-          if (!load.empty()) std::cout << "      " << load << "\n";
-          // CSV label always carries the shard count (the n==1 leg
-          // runs the bare id but must not collide with view 1's row)
-          // and the key distribution when it is not the default.
-          std::string csv_label = base + "/sh" + std::to_string(n);
-          if (dist.kind == harness::KeyDist::Kind::kZipf)
-            csv_label += ":zipf";
-          if (latency) lat_rows.push_back({csv_label, lat});
-          csv_rows.push_back({std::move(csv_label), res});
+          for (const std::string_view mem : {"", "/heap"}) {
+            const std::string id =
+                (n == 1 ? base : base + "/sh" + std::to_string(n)) +
+                std::string(mem);
+            auto set = harness::make_set(id);
+            harness::LatencyProfile lat;
+            harness::RunResult res = harness::run_random_mix(
+                *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist, {},
+                latency ? &lat : nullptr);
+            bench::check_valid(*set);
+            std::cout << std::left << std::setw(26)
+                      << base + std::string(mem) << std::right << std::setw(6)
+                      << n << std::setw(12) << std::fixed
+                      << std::setprecision(0) << res.kops_per_sec()
+                      << std::setw(10) << set->allocated_nodes()
+                      << std::setw(10) << set->limbo_nodes() << "\n";
+            const std::string load = harness::shard_load_line(*set);
+            if (!load.empty()) std::cout << "      " << load << "\n";
+            // CSV label always carries the shard count (the n==1 leg
+            // runs the bare id but must not collide with view 1's row)
+            // and the key distribution when it is not the default; the
+            // heap twin keeps its /heap suffix last, mirroring the
+            // catalog id grammar.
+            std::string csv_label =
+                base + "/sh" + std::to_string(n) + std::string(mem);
+            if (dist.kind == harness::KeyDist::Kind::kZipf)
+              csv_label += ":zipf";
+            if (latency) lat_rows.push_back({csv_label, lat});
+            csv_rows.push_back({std::move(csv_label), res});
+          }
         }
       }
     }

@@ -92,20 +92,24 @@ int main(int argc, char** argv) {
   };
 
   // --variants takes paper row letters or ids, default rows b and f
-  // (the pragmatic baseline and the paper's best all-round variant).
+  // (the pragmatic baseline and the paper's best all-round variant);
+  // `all` adds the unrolled fat-node family, whose per-node key runs
+  // make scans mostly sequential reads.
   std::vector<std::string_view> variants;
   {
+    std::vector<std::string_view> candidates(harness::paper_variant_ids());
+    candidates.push_back("unrolled_k8");
     const std::vector<std::string> tokens =
         opt.get_string_list("variants", {"b", "f"});
     const bool all = tokens.size() == 1 && tokens.front() == "all";
-    for (const std::string_view id : harness::paper_variant_ids()) {
+    for (const std::string_view id : candidates) {
       bool wanted = all;
       for (const auto& tok : tokens)
         wanted |= tok == id || tok == harness::variant_letter(id);
       if (wanted) variants.push_back(id);
     }
     PRAGMALIST_CHECK(!variants.empty(),
-                     "--variants matched none of the paper rows a-f");
+                     "--variants matched none of the rows a-f/unrolled_k8");
   }
   const std::vector<long> shard_counts = opt.get_longs("shards", {1, 4});
   const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
@@ -148,35 +152,41 @@ int main(int argc, char** argv) {
                        : std::string(v) + "/" + std::string(r);
       for (const long n : shard_counts) {
         if (n < 1) continue;
-        const std::string id =
-            n == 1 ? base : base + "/sh" + std::to_string(n);
-        for (const auto& row : mixes) {
-          const Cell cell = run_one(id, row.mix);
-          const double keys_per_scan =
-              cell.result.agg.scan_calls > 0
-                  ? static_cast<double>(cell.result.agg.scans) /
-                        static_cast<double>(cell.result.agg.scan_calls)
-                  : 0.0;
-          std::cout << std::left << std::setw(26)
-                    << (std::string(v) + "/" + std::string(r)) << std::right
-                    << std::setw(6) << n << std::setw(7) << row.name
-                    << std::setw(11) << std::fixed << std::setprecision(0)
-                    << cell.result.kops_per_sec() << std::setw(10)
-                    << std::setprecision(1) << keys_per_scan << std::setw(10)
-                    << cell.footprint << std::setw(10) << cell.limbo;
-          const std::string label = std::string(v) + "/" + std::string(r) +
-                                    "/sh" + std::to_string(n) + ":" +
-                                    row.name;
-          if (latency) {
-            const harness::LatHistogram all = cell.latency.merged();
-            std::cout << std::setw(9) << std::setprecision(1)
-                      << static_cast<double>(all.percentile(0.99)) / 1e3
-                      << std::setw(9)
-                      << static_cast<double>(all.percentile(0.999)) / 1e3;
-            lat_rows.push_back({label, cell.latency});
+        // Slab row plus its /heap malloc twin, like bench_reclaim.
+        for (const std::string_view mem : {"", "/heap"}) {
+          const std::string id =
+              (n == 1 ? base : base + "/sh" + std::to_string(n)) +
+              std::string(mem);
+          for (const auto& row : mixes) {
+            const Cell cell = run_one(id, row.mix);
+            const double keys_per_scan =
+                cell.result.agg.scan_calls > 0
+                    ? static_cast<double>(cell.result.agg.scans) /
+                          static_cast<double>(cell.result.agg.scan_calls)
+                    : 0.0;
+            std::cout << std::left << std::setw(26)
+                      << (std::string(v) + "/" + std::string(r) +
+                          std::string(mem))
+                      << std::right << std::setw(6) << n << std::setw(7)
+                      << row.name << std::setw(11) << std::fixed
+                      << std::setprecision(0) << cell.result.kops_per_sec()
+                      << std::setw(10) << std::setprecision(1)
+                      << keys_per_scan << std::setw(10) << cell.footprint
+                      << std::setw(10) << cell.limbo;
+            const std::string label = std::string(v) + "/" + std::string(r) +
+                                      "/sh" + std::to_string(n) +
+                                      std::string(mem) + ":" + row.name;
+            if (latency) {
+              const harness::LatHistogram all = cell.latency.merged();
+              std::cout << std::setw(9) << std::setprecision(1)
+                        << static_cast<double>(all.percentile(0.99)) / 1e3
+                        << std::setw(9)
+                        << static_cast<double>(all.percentile(0.999)) / 1e3;
+              lat_rows.push_back({label, cell.latency});
+            }
+            std::cout << "\n";
+            csv_rows.push_back({label, cell.result});
           }
-          std::cout << "\n";
-          csv_rows.push_back({label, cell.result});
         }
       }
     }

@@ -59,6 +59,11 @@ class DoublyFamilyList {
   using Reclaim = ReclaimPolicy<Node>;
   using ReclaimHandle = typename Reclaim::Handle;
 
+  /// Every node is acquired through the domain's pool, so the engine
+  /// is eligible for slab mode (the catalog / sharded adapters gate
+  /// alloc::Mode::kSlab on this trait).
+  static constexpr bool kPoolAllocates = true;
+
  private:
   static constexpr bool kHazards = Reclaim::kHazards;
   static constexpr bool kStable = Reclaim::kStableAddresses;
@@ -127,9 +132,12 @@ class DoublyFamilyList {
 
   explicit DoublyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
       : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
-        head_(new Node(kSentinelKey, nullptr, nullptr)) {
+        head_(domain_->construct(kSentinelKey, nullptr, nullptr)) {
     domain_->track(head_);
   }
+  /// Stand-alone list with an explicit allocation mode (slab twins).
+  explicit DoublyFamilyList(alloc::Mode mode)
+      : DoublyFamilyList(std::make_shared<Reclaim>(mode)) {}
   DoublyFamilyList(const DoublyFamilyList&) = delete;
   DoublyFamilyList& operator=(const DoublyFamilyList&) = delete;
 
@@ -138,7 +146,7 @@ class DoublyFamilyList {
       Node* n = head_;
       while (n != nullptr) {
         Node* next = n->next.load().ptr;
-        delete n;
+        domain_->destroy(n);
         n = next;
       }
     }
@@ -354,12 +362,12 @@ class DoublyFamilyList {
     for (;;) {
       const Pos p = search(h, key);
       if (p.cur != nullptr && p.cur->key == key) {
-        delete node;  // never published, still private
+        h.rh_->dispose(node);  // never published, still private
         update_cursor(h, p.prev);
         return false;
       }
       if (node == nullptr) {
-        node = new Node(key, p.cur, p.prev);
+        node = h.rh_->construct(key, p.cur, p.prev);
       } else {
         node->next.store(p.cur);
         node->back.store(p.prev, std::memory_order_relaxed);

@@ -149,10 +149,17 @@ class AllocRegistry {
   std::size_t count() const { return count_.load(std::memory_order_relaxed); }
 
   void free_all() {
+    free_all([](Node* n) { delete n; });
+  }
+
+  /// Drain with a custom deleter -- domains whose nodes live in slab
+  /// slots return them to the pool instead of `delete`ing.
+  template <typename Free>
+  void free_all(Free&& free_node) {
     Node* n = head_.exchange(nullptr, std::memory_order_acquire);
     while (n != nullptr) {
       Node* next = n->reg_next;
-      delete n;
+      free_node(n);
       n = next;
     }
     count_.store(0, std::memory_order_relaxed);

@@ -69,6 +69,11 @@ class SinglyFamilyList {
   using Reclaim = ReclaimPolicy<Node>;
   using ReclaimHandle = typename Reclaim::Handle;
 
+  /// Every node is acquired through the domain's pool, so the engine
+  /// is eligible for slab mode (the catalog / sharded adapters gate
+  /// alloc::Mode::kSlab on this trait).
+  static constexpr bool kPoolAllocates = true;
+
  private:
   static constexpr bool kHazards = Reclaim::kHazards;
   // Cursors hold a node pointer across operations, which needs
@@ -141,9 +146,12 @@ class SinglyFamilyList {
 
   explicit SinglyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
       : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
-        head_(new Node(kSentinelKey)) {
+        head_(domain_->construct(kSentinelKey)) {
     domain_->track(head_);
   }
+  /// Stand-alone list with an explicit allocation mode (slab twins).
+  explicit SinglyFamilyList(alloc::Mode mode)
+      : SinglyFamilyList(std::make_shared<Reclaim>(mode)) {}
   SinglyFamilyList(const SinglyFamilyList&) = delete;
   SinglyFamilyList& operator=(const SinglyFamilyList&) = delete;
 
@@ -155,7 +163,7 @@ class SinglyFamilyList {
       Node* n = head_;
       while (n != nullptr) {
         Node* next = n->next.load().ptr;
-        delete n;
+        domain_->destroy(n);
         n = next;
       }
     }
@@ -361,12 +369,12 @@ class SinglyFamilyList {
     for (;;) {
       const Pos p = search(h, key);
       if (p.cur != nullptr && p.cur->key == key) {
-        delete node;  // never published, still private
+        h.rh_->dispose(node);  // never published, still private
         update_cursor(h, p.prev);
         return false;  // present (the node was live when observed)
       }
       if (node == nullptr)
-        node = new Node(key, p.cur);
+        node = h.rh_->construct(key, p.cur);
       else
         node->next.store(p.cur);
       if (p.prev->next.cas_clean(p.cur, node)) {

@@ -181,6 +181,10 @@ struct BlastStats {
   // (min pinned epoch). A live abandoned pin holds this at >= 1
   // forever; 0 means the horizon is current.
   std::uint64_t horizon_lag = 0;
+  // Slab mode only: distinct slabs pinned live by leaked_nodes. A
+  // leaked slot holds its whole 16 KiB slab out of release_empty_slabs()
+  // until domain teardown -- the slab-granular cost of a node leak.
+  std::size_t leaked_slabs = 0;
 };
 
 }  // namespace pragmalist::faults

@@ -5,10 +5,12 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/alloc/slab.hpp"
 #include "src/baselines/ebr_michael.hpp"
 #include "src/baselines/hp_michael.hpp"
 #include "src/baselines/locked_lists.hpp"
 #include "src/common/debug.hpp"
+#include "src/core/unrolled_family.hpp"
 #include "src/core/variants.hpp"
 #include "src/shard/sharded_set.hpp"
 #include "src/structures/skiplist.hpp"
@@ -155,12 +157,19 @@ class SetAdapter final : public core::ISet {
 struct Entry {
   std::string_view id;
   std::string_view letter;
-  std::unique_ptr<core::ISet> (*make)(std::string_view);
+  std::unique_ptr<core::ISet> (*make)(std::string id, alloc::Mode mode);
 };
 
+// Pool-allocating structures (the engines: Engine::kPoolAllocates,
+// surfaced as an alloc::Mode constructor) honor the catalog's node-
+// memory mode; everything else -- baselines, skiplist -- news its own
+// nodes, so the mode is silently irrelevant for them.
 template <typename Structure>
-std::unique_ptr<core::ISet> make_adapter(std::string_view id) {
-  return std::make_unique<SetAdapter<Structure>>(std::string(id));
+std::unique_ptr<core::ISet> make_adapter(std::string id, alloc::Mode mode) {
+  if constexpr (std::is_constructible_v<Structure, alloc::Mode>)
+    return std::make_unique<SetAdapter<Structure>>(std::move(id), mode);
+  else
+    return std::make_unique<SetAdapter<Structure>>(std::move(id));
 }
 
 constexpr Entry kEntries[] = {
@@ -188,6 +197,12 @@ constexpr Entry kEntries[] = {
     {"singly_cursor/hp", "-", &make_adapter<core::SinglyCursorListHp>},
     {"singly_fetch_or/hp", "-", &make_adapter<core::SinglyFetchOrListHp>},
     {"doubly_cursor/hp", "-", &make_adapter<core::DoublyCursorListHp>},
+    // Unrolled fat-node family: K=8 sorted keys per cache-line-sized
+    // node (src/core/unrolled_family.hpp). Also reachable as
+    // `unrolled-k8/...` (dashes normalize to underscores in make_set).
+    {"unrolled_k8", "-", &make_adapter<core::UnrolledK8List>},
+    {"unrolled_k8/ebr", "-", &make_adapter<core::UnrolledK8ListEbr>},
+    {"unrolled_k8/hp", "-", &make_adapter<core::UnrolledK8ListHp>},
     {"coarse_lock", "g", &make_adapter<baselines::CoarseLockList>},
     {"lazy_lock", "h", &make_adapter<baselines::LazyLockList>},
     {"hp_michael", "i", &make_adapter<baselines::HpMichaelList>},
@@ -206,13 +221,17 @@ constexpr Entry kEntries[] = {
 
 struct ShardedEntry {
   std::string_view base;
-  std::unique_ptr<core::ISet> (*make)(std::string id, int shards);
+  std::unique_ptr<core::ISet> (*make)(std::string id, int shards,
+                                      alloc::Mode mode);
 };
 
 template <typename Engine>
-std::unique_ptr<core::ISet> make_sharded_adapter(std::string id, int shards) {
+std::unique_ptr<core::ISet> make_sharded_adapter(std::string id, int shards,
+                                                 alloc::Mode mode) {
+  // ShardedSet clamps the mode to heap itself when the engine is not
+  // pool-allocating, so passing it unconditionally is safe.
   return std::make_unique<SetAdapter<shard::ShardedSet<Engine>>>(
-      std::move(id), shards);
+      std::move(id), shards, mode);
 }
 
 constexpr ShardedEntry kShardedEntries[] = {
@@ -235,6 +254,9 @@ constexpr ShardedEntry kShardedEntries[] = {
     {"singly_cursor/hp", &make_sharded_adapter<core::SinglyCursorListHp>},
     {"singly_fetch_or/hp", &make_sharded_adapter<core::SinglyFetchOrListHp>},
     {"doubly_cursor/hp", &make_sharded_adapter<core::DoublyCursorListHp>},
+    {"unrolled_k8", &make_sharded_adapter<core::UnrolledK8List>},
+    {"unrolled_k8/ebr", &make_sharded_adapter<core::UnrolledK8ListEbr>},
+    {"unrolled_k8/hp", &make_sharded_adapter<core::UnrolledK8ListHp>},
     {"hp_michael", &make_sharded_adapter<baselines::HpMichaelList>},
     {"ebr_michael", &make_sharded_adapter<baselines::EbrMichaelList>},
 };
@@ -259,11 +281,11 @@ bool split_sharded_id(std::string_view id, std::string_view* base,
 
 std::unique_ptr<core::ISet> make_sharded_set(std::string_view id,
                                              std::string_view base,
-                                             int shards) {
+                                             int shards, alloc::Mode mode) {
   PRAGMALIST_CHECK(shards >= 1 && shards <= 1024,
                    "shard count must be in [1, 1024]");
   for (const auto& entry : kShardedEntries)
-    if (entry.base == base) return entry.make(std::string(id), shards);
+    if (entry.base == base) return entry.make(std::string(id), shards, mode);
   std::string msg = "id '" + std::string(id) + "' has a /shN suffix but '" +
                     std::string(base) + "' is not shardable; bases:";
   for (const auto& entry : kShardedEntries) {
@@ -277,20 +299,41 @@ std::unique_ptr<core::ISet> make_sharded_set(std::string_view id,
 }  // namespace
 
 std::unique_ptr<core::ISet> make_set(std::string_view id) {
+  // Dashes are id-alias sugar (`unrolled-k8` == `unrolled_k8`): the
+  // docs spell the family with a dash, the catalog key with an
+  // underscore.
+  std::string norm(id);
+  for (char& ch : norm) {
+    if (ch == '-') ch = '_';
+  }
+  // Node-memory mode: catalog ids allocate from per-domain slabs by
+  // default; a final `/heap` segment requests the plain-malloc twin
+  // (`singly/ebr/heap`, `unrolled_k8/hp/sh4/heap`). Engines only --
+  // structures that new their own nodes ignore the mode either way.
+  alloc::Mode mode = alloc::Mode::kSlab;
+  std::string_view lookup = norm;
+  constexpr std::string_view kHeapSuffix = "/heap";
+  if (lookup.size() > kHeapSuffix.size() &&
+      lookup.substr(lookup.size() - kHeapSuffix.size()) == kHeapSuffix) {
+    mode = alloc::Mode::kHeap;
+    lookup.remove_suffix(kHeapSuffix.size());
+  }
   {
     std::string_view base;
     int shards = 0;
-    if (split_sharded_id(id, &base, &shards))
-      return make_sharded_set(id, base, shards);
+    if (split_sharded_id(lookup, &base, &shards))
+      return make_sharded_set(id, base, shards, mode);
   }
   for (const auto& entry : kEntries)
-    if (entry.id == id) return entry.make(entry.id);
+    if (entry.id == lookup) return entry.make(std::string(id), mode);
   std::string msg = "unknown variant '" + std::string(id) + "'; known:";
   for (const auto& entry : kEntries) {
     msg += ' ';
     msg += entry.id;
   }
-  msg += " (plus any shardable id with a /shN suffix, e.g. singly/ebr/sh8)";
+  msg +=
+      " (plus any shardable id with a /shN suffix, e.g. singly/ebr/sh8, and"
+      " a trailing /heap for the malloc twin of any engine id)";
   PRAGMALIST_CHECK(false, msg.c_str());
   __builtin_unreachable();
 }

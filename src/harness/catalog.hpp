@@ -13,6 +13,13 @@
 //   `hp_michael/sh8`): N hash-partitioned lists behind one set,
 //   sharing one reclamation domain (src/shard/). Parsed dynamically,
 //   any N in [1, 1024].
+// Unrolled family: unrolled_k8 (+ /ebr, /hp, /shN) -- K=8 sorted keys
+//   per cache-line-sized fat node; `unrolled-k8` is accepted as an
+//   alias (dashes normalize to underscores).
+// Node memory: engine ids allocate nodes from per-domain slabs
+//   (src/alloc/) by default; appending a final `/heap` segment builds
+//   the plain-malloc twin of the same id (`singly/ebr/heap`,
+//   `unrolled_k8/hp/sh4/heap`). Non-engine structures ignore the mode.
 // Ablation-only: doubly_cursor_noprec, singly_cursor_backoff
 // Baselines: coarse_lock, lazy_lock, hp_michael, ebr_michael
 // Structures: skiplist, skiplist_draconic

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
+#include "src/alloc/slab.hpp"
 #include "src/core/list_base.hpp"
 #include "src/faults/faults.hpp"
 
@@ -44,25 +46,60 @@ class Arena {
     Guard guard() { return {}; }
     void retire(Node*) {}  // the registry frees everything at teardown
 
+    /// Node allocation, through the per-thread slot cache (a plain
+    /// `new` when the domain runs in heap mode).
+    template <typename... Args>
+    Node* construct(Args&&... args) {
+      return cache_.construct(std::forward<Args>(args)...);
+    }
+
+    /// Free a never-published node (a lost insert race). Published
+    /// nodes are the registry's to free at teardown.
+    void dispose(Node* n) { cache_.destroy(n); }
+
     /// Fault injection is a no-op: there is no guard to leak, no
     /// departure protocol to skip, and retires already do nothing.
     /// The arena is fault-oblivious by construction -- crashed workers
     /// cost exactly what well-behaved ones do (the fault tier asserts
-    /// its blast stats stay all-zero).
+    /// its blast stats stay all-zero). The slot cache still drains on
+    /// destruction: cached slots are clean memory, not protected state.
     void abandon(faults::FaultKind) {}
+
+   private:
+    friend class Arena;
+    explicit Handle(alloc::SlabPool<Node>* pool) : cache_(pool) {}
+    alloc::ThreadCache<Node> cache_;
   };
 
-  Arena() = default;
+  explicit Arena(alloc::Mode mode = alloc::Mode::kHeap) : pool_(mode) {}
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
-  Handle make_handle() { return {}; }
+  /// Free every tracked node through the pool *before* the members
+  /// destruct (the registry's own destructor would `delete` them).
+  ~Arena() {
+    registry_.free_all([this](Node* n) { pool_.destroy(n); });
+  }
+
+  Handle make_handle() { return Handle(&pool_); }
 
   void track(Node* n) { registry_.track(n); }
 
   std::size_t live_nodes() const { return registry_.count(); }
 
+  /// Domain-level allocation (sentinels, teardown paths).
+  template <typename... Args>
+  Node* construct(Args&&... args) {
+    return pool_.construct(std::forward<Args>(args)...);
+  }
+  void destroy(Node* n) { pool_.destroy(n); }
+
+  alloc::Mode alloc_mode() const { return pool_.mode(); }
+  alloc::SlabStats slab_stats() const { return pool_.stats(); }
+  alloc::SlabPool<Node>& pool() { return pool_; }
+
  private:
+  alloc::SlabPool<Node> pool_;  // first: nodes drain into it above
   core::AllocRegistry<Node> registry_;
 };
 

@@ -89,6 +89,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/alloc/slab.hpp"
 #include "src/common/debug.hpp"
 #include "src/faults/faults.hpp"
 
@@ -129,7 +130,8 @@ class Ebr {
           collect_threshold_(o.collect_threshold_),
           retired_since_collect_(o.retired_since_collect_),
           rate_ewma_(o.rate_ewma_),
-          last_collect_epoch_(o.last_collect_epoch_) {
+          last_collect_epoch_(o.last_collect_epoch_),
+          cache_(std::move(o.cache_)) {
       for (int b = 0; b < kBags; ++b) bags_[b] = std::move(o.bags_[b]);
       o.d_ = nullptr;
       o.limbo_size_ = 0;
@@ -176,6 +178,19 @@ class Ebr {
     };
 
     Guard guard() { return Guard(*this); }
+
+    /// Node allocation, through the per-thread slot cache (a plain
+    /// `new` when the domain runs in heap mode). The cache drains on
+    /// handle destruction -- and on abandon: cached slots are clean
+    /// memory, never protected state, so a crash leaks none of them.
+    template <typename... Args>
+    Node* construct(Args&&... args) {
+      return cache_.construct(std::forward<Args>(args)...);
+    }
+
+    /// Free a never-published node (a lost insert race) immediately:
+    /// no reader can hold it, so it skips limbo entirely.
+    void dispose(Node* n) { cache_.destroy(n); }
 
     void retire(Node* n) {
       const std::uint64_t e =
@@ -276,7 +291,7 @@ class Ebr {
 
    private:
     friend class Ebr;
-    Handle(Ebr* d, int slot) : d_(d), slot_(slot) {}
+    Handle(Ebr* d, int slot) : d_(d), slot_(slot), cache_(&d->pool_) {}
 
     /// Re-tune the trigger after a pass. A futile pass (freed nothing,
     /// own limbo or orphans alike) over above-threshold pressure means
@@ -315,19 +330,20 @@ class Ebr {
     std::size_t retired_since_collect_ = 0;
     std::size_t rate_ewma_ = kRetireThreshold;
     std::uint64_t last_collect_epoch_ = 0;
+    alloc::ThreadCache<Node> cache_;
   };
 
-  Ebr() = default;
+  explicit Ebr(alloc::Mode mode = alloc::Mode::kHeap) : pool_(mode) {}
   Ebr(const Ebr&) = delete;
   Ebr& operator=(const Ebr&) = delete;
 
   ~Ebr() {
-    for (const auto& entry : orphans_) delete entry.first;
+    for (const auto& entry : orphans_) pool_.destroy(entry.first);
     // Crashed leases nobody reaped, and attributed leaks: the domain
     // owns both, so even a faulted run tears down ASan-clean.
     for (const auto& lease : crashed_)
-      for (const auto& entry : lease.nodes) delete entry.first;
-    for (Node* n : leaked_) delete n;
+      for (const auto& entry : lease.nodes) pool_.destroy(entry.first);
+    for (Node* n : leaked_) pool_.destroy(n);
   }
 
   Handle make_handle() {
@@ -404,14 +420,26 @@ class Ebr {
     b.parked_limbo = parked_limbo_.load(std::memory_order_relaxed);
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     b.horizon_lag = e - min_pinned_epoch();
+    b.leaked_slabs = leaked_slab_count();
     return b;
   }
+
+  /// Domain-level allocation (sentinels, teardown paths).
+  template <typename... Args>
+  Node* construct(Args&&... args) {
+    return pool_.construct(std::forward<Args>(args)...);
+  }
+  void destroy(Node* n) { pool_.destroy(n); }
+
+  alloc::Mode alloc_mode() const { return pool_.mode(); }
+  alloc::SlabStats slab_stats() const { return pool_.stats(); }
+  alloc::SlabPool<Node>& pool() { return pool_; }
 
  private:
   friend class Handle;
 
   void free_bag(Bag& bag, Handle& h) {
-    for (Node* n : bag.nodes) delete n;
+    for (Node* n : bag.nodes) pool_.destroy(n);
     freed_.fetch_add(bag.nodes.size(), std::memory_order_relaxed);
     limbo_.fetch_sub(bag.nodes.size(), std::memory_order_relaxed);
     h.limbo_size_ -= bag.nodes.size();
@@ -468,7 +496,7 @@ class Ebr {
     std::size_t w = 0;
     for (std::size_t r = 0; r < orphans_.size(); ++r) {
       if (orphans_[r].second + 2 <= min_epoch) {
-        delete orphans_[r].first;
+        pool_.destroy(orphans_[r].first);
         ++freed;
       } else {
         orphans_[w++] = orphans_[r];
@@ -513,6 +541,21 @@ class Ebr {
     leaked_count_.store(leaked_.size(), std::memory_order_relaxed);
   }
 
+  /// Distinct slabs holding attributed leaks (slab-leak attribution
+  /// for the fault tier; 0 in heap mode where there are no slabs).
+  std::size_t leaked_slab_count() const {
+    if (pool_.mode() != alloc::Mode::kSlab) return 0;
+    std::lock_guard<std::mutex> lock(leaked_mu_);
+    std::vector<const void*> slabs;
+    for (const Node* n : leaked_) {
+      const void* s = pool_.slab_of(n);
+      if (std::find(slabs.begin(), slabs.end(), s) == slabs.end())
+        slabs.push_back(s);
+    }
+    return slabs.size();
+  }
+
+  alloc::SlabPool<Node> pool_;  // first: every free above drains into it
   Slot slots_[kMaxHandles];
   std::atomic<std::uint64_t> global_epoch_{2};
   std::atomic<std::size_t> allocated_{0};
@@ -525,8 +568,8 @@ class Ebr {
   std::vector<CrashedLease> crashed_;  // guarded by crashed_mu_
   std::atomic<std::size_t> crashed_count_{0};
   std::atomic<std::size_t> parked_limbo_{0};
-  std::mutex leaked_mu_;
-  std::vector<Node*> leaked_;  // guarded by leaked_mu_
+  mutable std::mutex leaked_mu_;  // blast_stats() walks leaked_ (const)
+  std::vector<Node*> leaked_;     // guarded by leaked_mu_
   std::atomic<std::size_t> leaked_count_{0};
 };
 

@@ -56,6 +56,7 @@
 // guards someone else's cursor).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -64,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/alloc/slab.hpp"
 #include "src/common/debug.hpp"
 #include "src/core/list_base.hpp"
 #include "src/faults/faults.hpp"
@@ -93,7 +95,8 @@ class Hp {
         : cursor_owner(o.cursor_owner),
           d_(o.d_),
           slot_(o.slot_),
-          retired_(std::move(o.retired_)) {
+          retired_(std::move(o.retired_)),
+          cache_(std::move(o.cache_)) {
       o.d_ = nullptr;
       o.retired_.clear();
     }
@@ -116,6 +119,19 @@ class Hp {
 
     struct Guard {};
     Guard guard() { return {}; }
+
+    /// Node allocation, through the per-thread slot cache (a plain
+    /// `new` when the domain runs in heap mode). The cache drains on
+    /// handle destruction -- and on abandon: cached slots are clean
+    /// memory, never protected state, so a crash leaks none of them.
+    template <typename... Args>
+    Node* construct(Args&&... args) {
+      return cache_.construct(std::forward<Args>(args)...);
+    }
+
+    /// Free a never-published node (a lost insert race) immediately:
+    /// no reader can hold it, so it skips retire/scan entirely.
+    void dispose(Node* n) { cache_.destroy(n); }
 
     /// Publish: the store must be ordered before the caller's
     /// revalidation read, hence seq_cst (a release store could be
@@ -180,14 +196,15 @@ class Hp {
 
    private:
     friend class Hp;
-    Handle(Hp* d, int slot) : d_(d), slot_(slot) {}
+    Handle(Hp* d, int slot) : d_(d), slot_(slot), cache_(&d->pool_) {}
 
     Hp* d_;
     int slot_;
     std::vector<Node*> retired_;
+    alloc::ThreadCache<Node> cache_;
   };
 
-  Hp() = default;
+  explicit Hp(alloc::Mode mode = alloc::Mode::kHeap) : pool_(mode) {}
   Hp(const Hp&) = delete;
   Hp& operator=(const Hp&) = delete;
 
@@ -195,14 +212,14 @@ class Hp {
     Node* r = orphans_.load(std::memory_order_acquire);
     while (r != nullptr) {
       Node* next = r->reg_next;
-      delete r;
+      pool_.destroy(r);
       r = next;
     }
     // Crashed leases nobody reaped, and attributed leaks: the domain
     // owns both, so even a faulted run tears down ASan-clean.
     for (const auto& lease : crashed_)
-      for (Node* n : lease.retired) delete n;
-    for (Node* n : leaked_) delete n;
+      for (Node* n : lease.retired) pool_.destroy(n);
+    for (Node* n : leaked_) pool_.destroy(n);
   }
 
   Handle make_handle() {
@@ -273,6 +290,7 @@ class Hp {
     faults::BlastStats b;
     b.leaked_nodes = leaked_count_.load(std::memory_order_relaxed);
     b.parked_limbo = parked_limbo_.load(std::memory_order_relaxed);
+    b.leaked_slabs = leaked_slab_count();
     std::lock_guard<std::mutex> lock(crashed_mu_);
     b.crashed_slots = crashed_.size();
     for (const auto& lease : crashed_)
@@ -281,6 +299,17 @@ class Hp {
           ++b.leaked_cells;
     return b;
   }
+
+  /// Domain-level allocation (sentinels, teardown paths).
+  template <typename... Args>
+  Node* construct(Args&&... args) {
+    return pool_.construct(std::forward<Args>(args)...);
+  }
+  void destroy(Node* n) { pool_.destroy(n); }
+
+  alloc::Mode alloc_mode() const { return pool_.mode(); }
+  alloc::SlabStats slab_stats() const { return pool_.stats(); }
+  alloc::SlabPool<Node>& pool() { return pool_; }
 
  private:
   friend class Handle;
@@ -311,7 +340,7 @@ class Hp {
       if (protected_nodes.count(n) != 0) {
         keep.push_back(n);
       } else {
-        delete n;
+        pool_.destroy(n);
         ++freed;
       }
     }
@@ -354,6 +383,21 @@ class Hp {
     leaked_count_.store(leaked_.size(), std::memory_order_relaxed);
   }
 
+  /// Slab-leak attribution: how many distinct slabs are pinned live by
+  /// kRetireSkipped leaks. Zero in heap mode (no slabs to pin).
+  std::size_t leaked_slab_count() const {
+    if (pool_.mode() != alloc::Mode::kSlab) return 0;
+    std::lock_guard<std::mutex> lock(leaked_mu_);
+    std::vector<const void*> slabs;
+    for (Node* n : leaked_) {
+      const void* s = pool_.slab_of(n);
+      if (std::find(slabs.begin(), slabs.end(), s) == slabs.end())
+        slabs.push_back(s);
+    }
+    return slabs.size();
+  }
+
+  alloc::SlabPool<Node> pool_;  // first: every member above drains into it
   Slot slots_[kMaxHandles];
   std::atomic<Node*> orphans_{nullptr};
   std::atomic<std::size_t> allocated_{0};
@@ -362,7 +406,7 @@ class Hp {
   mutable std::mutex crashed_mu_;
   std::vector<CrashedLease> crashed_;  // guarded by crashed_mu_
   std::atomic<std::size_t> parked_limbo_{0};
-  std::mutex leaked_mu_;
+  mutable std::mutex leaked_mu_;
   std::vector<Node*> leaked_;  // guarded by leaked_mu_
   std::atomic<std::size_t> leaked_count_{0};
 };

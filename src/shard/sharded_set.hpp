@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/alloc/slab.hpp"
 #include "src/common/debug.hpp"
 #include "src/core/iset.hpp"
 #include "src/faults/faults.hpp"
@@ -56,6 +57,16 @@ struct HasOpAbandon : std::false_type {};
 template <typename T>
 struct HasOpAbandon<T, std::void_t<decltype(std::declval<T&>().abandon(
                            faults::FaultKind::kMidOpAbandon, 0L))>>
+    : std::true_type {};
+
+// Engines that allocate nodes through the domain (construct/dispose)
+// advertise kPoolAllocates; only those may run the shared domain in
+// slab mode. Baselines that `new` their own nodes must clamp to heap,
+// or the domain would try to return foreign pointers to a slab.
+template <typename T, typename = void>
+struct PoolAllocates : std::false_type {};
+template <typename T>
+struct PoolAllocates<T, std::enable_if_t<T::kPoolAllocates>>
     : std::true_type {};
 }  // namespace detail
 
@@ -218,7 +229,11 @@ class ShardedSet {
     core::OpCounters scan_ctr_;  // whole-set scan ledger (see counters)
   };
 
-  explicit ShardedSet(int shards) : domain_(std::make_shared<Reclaim>()) {
+  explicit ShardedSet(int shards,
+                      alloc::Mode mode = alloc::Mode::kHeap)
+      : domain_(std::make_shared<Reclaim>(
+            detail::PoolAllocates<Engine>::value ? mode
+                                                 : alloc::Mode::kHeap)) {
     PRAGMALIST_CHECK(shards >= 1, "ShardedSet needs at least one shard");
     shards_.reserve(static_cast<std::size_t>(shards));
     for (int i = 0; i < shards; ++i)

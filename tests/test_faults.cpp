@@ -264,6 +264,25 @@ TEST(HpFaults, DepartWithoutReleaseLeaksOnlyTheCursorCell) {
 
 // --- engine-level op faults over the catalog ------------------------
 
+// The unrolled fat-node engine packs up to 8 keys per node, so a
+// faulty remove only leaks (or abandons) a *node* when it empties one.
+// To put the unrolled ids through the same node-level blast shapes as
+// the singly families, drain the 0..9 prefill down to {3, 5}: the
+// split left A{0,1,2,3} anchored at 0 and B{4..9} anchored at 4, and
+// this removal order never empties a node and never makes a merge
+// eligible (one side always holds too many keys for the both-fit
+// ceiling, and the tail node has no right sibling to absorb). End
+// state: key 3 alone in A, key 5 alone in B -- a faulty remove of 5 is
+// exactly a node-emptying remove.
+bool is_unrolled(std::string_view id) {
+  return id.find("unrolled") != std::string_view::npos;
+}
+
+void drain_to_singleton_nodes(core::ISetHandle& h) {
+  for (const long k : {0L, 1L, 2L, 4L, 6L, 7L, 8L, 9L})
+    ASSERT_TRUE(h.remove(k)) << k;
+}
+
 class EveryFaultCombo : public ::testing::TestWithParam<std::string_view> {};
 
 INSTANTIATE_TEST_SUITE_P(
@@ -282,11 +301,15 @@ INSTANTIATE_TEST_SUITE_P(
 // still balances (delta form below; freed at domain teardown, which
 // ASan verifies).
 TEST_P(EveryFaultCombo, RetireSkippedLeaksOutsideLimbo) {
+  const bool unrolled = is_unrolled(GetParam());
   auto set = harness::make_set(GetParam());
   {
     auto h = set->make_handle();
     for (long k = 0; k < 10; ++k) ASSERT_TRUE(h->add(k));
+    if (unrolled) drain_to_singleton_nodes(*h);
   }
+  const std::size_t live_before = unrolled ? 2u : 10u;
+  ASSERT_EQ(set->size(), live_before);
   const std::size_t allocated_before = set->allocated_nodes();
   const std::size_t limbo_before = set->limbo_nodes();
 
@@ -298,12 +321,16 @@ TEST_P(EveryFaultCombo, RetireSkippedLeaksOutsideLimbo) {
   EXPECT_EQ(victim->counters().rems, 1);
   victim.reset();
 
-  EXPECT_EQ(set->size(), 9u);
+  EXPECT_EQ(set->size(), live_before - 1);
   std::string err;
   ASSERT_TRUE(set->validate(&err)) << err;
   EXPECT_EQ(set->allocated_nodes(), allocated_before);  // nothing freed
   EXPECT_EQ(set->limbo_nodes(), limbo_before);          // nothing retired
   EXPECT_EQ(set->blast_stats().leaked_nodes, 1u);       // ...attributed
+  // Slab-leak attribution: the catalog default is slab mode, so that
+  // one leaked node pins exactly one 16 KiB slab out of
+  // release_empty_slabs() until domain teardown.
+  EXPECT_EQ(set->blast_stats().leaked_slabs, 1u);
   {
     auto h = set->make_handle();
     EXPECT_FALSE(h->contains(5));
@@ -316,17 +343,24 @@ TEST_P(EveryFaultCombo, RetireSkippedLeaksOutsideLimbo) {
 // excluded from size() and unremovable, and only the survivors'
 // cooperative helping (the paper's core mechanism) ever unlinks it.
 TEST_P(EveryFaultCombo, MidOpAbandonLeavesMarkedNodeForTheHelpers) {
+  const bool unrolled = is_unrolled(GetParam());
   auto set = harness::make_set(GetParam());
   {
     auto h = set->make_handle();
     for (long k = 0; k < 10; ++k) ASSERT_TRUE(h->add(k));
+    // For unrolled this makes the abandoned remove of 5 empty its fat
+    // node, so the crash leaves a marked-but-linked *node* corpse just
+    // like the singly families (a non-emptying remove would leave
+    // nothing for the helpers to do).
+    if (unrolled) drain_to_singleton_nodes(*h);
   }
+  const std::size_t live_before = unrolled ? 2u : 10u;
   auto victim = set->make_handle();
   victim->abandon(FaultKind::kMidOpAbandon, 5);
   EXPECT_EQ(victim->counters().rems, 1);  // the marked key left the set
   victim.reset();
 
-  EXPECT_EQ(set->size(), 9u);  // marked-but-linked is not live
+  EXPECT_EQ(set->size(), live_before - 1);  // marked-but-linked not live
   std::string err;
   ASSERT_TRUE(set->validate(&err)) << err;
 
@@ -334,7 +368,7 @@ TEST_P(EveryFaultCombo, MidOpAbandonLeavesMarkedNodeForTheHelpers) {
   EXPECT_FALSE(h->remove(5));  // already logically deleted
   EXPECT_TRUE(h->add(5));      // survivors sweep past the corpse
   EXPECT_TRUE(h->contains(5));
-  EXPECT_EQ(set->size(), 10u);
+  EXPECT_EQ(set->size(), live_before);
   ASSERT_TRUE(set->validate(&err)) << err;
 }
 
@@ -342,29 +376,34 @@ TEST_P(EveryFaultCombo, MidOpAbandonLeavesMarkedNodeForTheHelpers) {
 
 // No guard to leak, no retire to skip, no departure protocol: every
 // fault costs an arena worker exactly what a clean exit does. Blast
-// stats stay all-zero and there is never a lease to reap.
+// stats stay all-zero and there is never a lease to reap. Holds for
+// the per-key and the fat-node arena engines alike.
 TEST(ArenaFaults, EveryFaultKindIsFreeByConstruction) {
-  auto set = harness::make_set("singly");
-  {
-    auto h = set->make_handle();
-    for (long k = 0; k < 10; ++k) ASSERT_TRUE(h->add(k));
+  for (const std::string_view id :
+       {std::string_view("singly"), std::string_view("unrolled_k8")}) {
+    auto set = harness::make_set(id);
+    {
+      auto h = set->make_handle();
+      for (long k = 0; k < 10; ++k) ASSERT_TRUE(h->add(k));
+    }
+    long removed = 0;
+    for (const FaultKind k : faults::kAllFaultKinds) {
+      auto victim = set->make_handle();
+      victim->abandon(k, removed);  // op-level kinds remove 0 then 1
+      removed += faults::is_op_fault(k);
+    }
+    EXPECT_EQ(set->size(), static_cast<std::size_t>(10 - removed)) << id;
+    std::string err;
+    ASSERT_TRUE(set->validate(&err)) << id << ": " << err;
+    const faults::BlastStats b = set->blast_stats();
+    EXPECT_EQ(b.leaked_nodes, 0u) << id;
+    EXPECT_EQ(b.crashed_slots, 0u) << id;
+    EXPECT_EQ(b.leaked_cells, 0u) << id;
+    EXPECT_EQ(b.parked_limbo, 0u) << id;
+    EXPECT_EQ(b.horizon_lag, 0u) << id;
+    EXPECT_EQ(b.leaked_slabs, 0u) << id;
+    EXPECT_EQ(set->reap_crashed(), 0u) << id;
   }
-  long removed = 0;
-  for (const FaultKind k : faults::kAllFaultKinds) {
-    auto victim = set->make_handle();
-    victim->abandon(k, removed);  // op-level kinds remove 0 then 1
-    removed += faults::is_op_fault(k);
-  }
-  EXPECT_EQ(set->size(), static_cast<std::size_t>(10 - removed));
-  std::string err;
-  ASSERT_TRUE(set->validate(&err)) << err;
-  const faults::BlastStats b = set->blast_stats();
-  EXPECT_EQ(b.leaked_nodes, 0u);
-  EXPECT_EQ(b.crashed_slots, 0u);
-  EXPECT_EQ(b.leaked_cells, 0u);
-  EXPECT_EQ(b.parked_limbo, 0u);
-  EXPECT_EQ(b.horizon_lag, 0u);
-  EXPECT_EQ(set->reap_crashed(), 0u);
 }
 
 // --- the fault soak over the whole grid -----------------------------
@@ -461,7 +500,9 @@ TEST_P(EveryFaultCombo, FaultSoakRecoversEveryKind) {
 TEST(ShardedFaultSoak, FaultSoakRecoversAcrossSharedDomain) {
   for (const std::string_view id : {std::string_view("singly/ebr/sh8"),
                                     std::string_view("singly_cursor/hp/sh8"),
-                                    std::string_view("doubly/ebr/sh4")})
+                                    std::string_view("doubly/ebr/sh4"),
+                                    std::string_view("unrolled_k8/ebr/sh4"),
+                                    std::string_view("unrolled_k8/hp/sh4")})
     run_fault_soak(id, test::env_seed(7));
 }
 

@@ -515,6 +515,9 @@ class EveryPragmaticCombo
 
 std::vector<std::string_view> pragmatic_and_reclaim_ids() {
   std::vector<std::string_view> ids = harness::paper_variant_ids();
+  // The unrolled fat-node engine under its arena form; its ebr/hp and
+  // sharded forms arrive through the catalog grids below.
+  ids.push_back("unrolled_k8");
   const auto& combos = harness::reclaim_variant_ids();
   ids.insert(ids.end(), combos.begin(), combos.end());
   // The sharded grid (every combo behind >= 2 hash shards): the

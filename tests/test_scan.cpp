@@ -29,6 +29,7 @@ std::vector<std::string_view> scan_ids() {
   static const std::vector<std::string> sharded = {
       "singly/ebr/sh4",  "singly_cursor/hp/sh4", "doubly_cursor/sh8",
       "hp_michael/sh4",  "ebr_michael/sh4",      "singly/sh3",
+      "unrolled_k8/ebr/sh4",  // fat-node pages feeding the k-way merge
   };
   for (const auto& s : sharded) ids.push_back(s);
   return ids;

@@ -1,12 +1,13 @@
-// Sequential set semantics for all six paper variants and both
-// sequential baselines: ordered iteration, duplicate adds rejected,
-// remove-absent false, counters ledger, interleaved churn against a
-// std::set oracle.
+// Sequential set semantics for all six paper variants, the unrolled
+// fat-node engine, and both sequential baselines: ordered iteration,
+// duplicate adds rejected, remove-absent false, counters ledger,
+// interleaved churn against a std::set oracle.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <vector>
 
+#include "src/core/unrolled_family.hpp"
 #include "src/workload/rng.hpp"
 #include "tests/test_util.hpp"
 
@@ -25,6 +26,7 @@ using AllStructures = ::testing::Types<
     HandleFacade<core::DoublyList>, HandleFacade<core::SinglyCursorList>,
     HandleFacade<core::SinglyFetchOrList>,
     HandleFacade<core::DoublyCursorList>,
+    HandleFacade<core::UnrolledK8List>,
     DirectFacade<baselines::SequentialList>,
     DirectFacade<baselines::SequentialCursorList>>;
 TYPED_TEST_SUITE(SequentialSemantics, AllStructures);

@@ -3,6 +3,7 @@
 // that never fails would make every other check in the repo hollow.
 #include <gtest/gtest.h>
 
+#include "src/core/unrolled_family.hpp"
 #include "src/structures/skiplist.hpp"
 #include "tests/test_util.hpp"
 
@@ -15,8 +16,8 @@ class ValidateCatchesCorruption : public ::testing::Test {};
 using CorruptibleLists =
     ::testing::Types<core::DraconicList, core::SinglyList, core::DoublyList,
                      core::SinglyCursorList, core::SinglyFetchOrList,
-                     core::DoublyCursorList, structures::SkipList,
-                     structures::SkipListDraconic>;
+                     core::DoublyCursorList, core::UnrolledK8List,
+                     structures::SkipList, structures::SkipListDraconic>;
 TYPED_TEST_SUITE(ValidateCatchesCorruption, CorruptibleLists);
 
 TYPED_TEST(ValidateCatchesCorruption, OrderViolationIsReported) {
