@@ -22,8 +22,9 @@
 //
 //   bench_latency [--threads P] [--c OPS] [--u UNIVERSE] [--seed S]
 //                 [--variants b,f | ids | all] [--shards 1,4]
-//                 [--scan-frac PCT] [--scan-width W]
-//                 [--rate OPS_PER_SEC_PER_THREAD] [--no-pin]
+//                 [--mix scaling|table|reads] [--scan-frac PCT]
+//                 [--scan-width W] [--rate OPS_PER_SEC_PER_THREAD]
+//                 [--no-pin]
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -44,10 +45,20 @@ int main(int argc, char** argv) {
   const double rate = opt.get_double("rate", 0.0);
   const int scan_frac = opt.get_int("scan-frac", 10);
   const workload::ScanWidths widths = bench::scan_widths(opt);
-  // Update-heavy base so every class has samples; scans carved from
-  // the contains share like bench_scan/bench_soak.
-  const workload::OpMix mix = bench::with_scans(workload::kScalingMix,
-                                                scan_frac);
+  // Base mix: update-heavy default so every class has samples; `--mix
+  // reads` is the contains-heavy fast lane the hint index is priced on
+  // (and what the CI contains-heavy gate runs). Scans carved from the
+  // contains share like bench_scan/bench_soak.
+  const std::string mix_name = opt.get_string("mix", "scaling");
+  workload::OpMix base_mix = workload::kScalingMix;
+  if (mix_name == "reads")
+    base_mix = workload::kReadMostlyMix;
+  else if (mix_name == "table")
+    base_mix = workload::kTableMix;
+  else
+    PRAGMALIST_CHECK(mix_name == "scaling",
+                     "--mix must be scaling, table or reads");
+  const workload::OpMix mix = bench::with_scans(base_mix, scan_frac);
 
   PRAGMALIST_CHECK(harness::kLatencyCompiled,
                    "bench_latency needs -DPRAGMALIST_LATENCY=ON");
@@ -94,9 +105,11 @@ int main(int argc, char** argv) {
                        : std::string(v) + "/" + std::string(r);
       for (const long n : shard_counts) {
         if (n < 1) continue;
-        // Slab cell plus its /heap malloc twin: allocator cost is a
-        // tail story too (a slab refill vs a malloc slow path).
-        for (const std::string_view mem : {"", "/heap"}) {
+        // Slab cell plus its /heap malloc twin (allocator cost is a
+        // tail story too: a slab refill vs a malloc slow path) plus
+        // its /nohint twin -- same cell, shortcut-hint index disabled,
+        // pricing what the hints buy on this mix.
+        for (const std::string_view mem : {"", "/heap", "/nohint"}) {
           const std::string id =
               (n == 1 ? base : base + "/sh" + std::to_string(n)) +
               std::string(mem);
@@ -130,7 +143,8 @@ int main(int argc, char** argv) {
           }
           std::string label = id;
           if (rate > 0.0) label += ":rate";
-          rows.push_back({std::move(label), lat});
+          rows.push_back({std::move(label), lat, res.kops_per_sec(),
+                          res.agg.hint_hits, res.agg.restarts});
           if (rate > 0.0 && behind > 0)
             std::cout << "(" << id << ": " << behind << " of "
                       << res.total_ops << " ops started >= 1 period late)\n";

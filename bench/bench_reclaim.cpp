@@ -133,7 +133,11 @@ int main(int argc, char** argv) {
                   << std::setw(10) << cell.footprint;
         const std::string label =
             std::string(v) + "/" + std::string(r) + std::string(mem);
-        if (latency) lat_rows.push_back({label, cell.latency});
+        if (latency)
+          lat_rows.push_back({label, cell.latency,
+                              cell.result.kops_per_sec(),
+                              cell.result.agg.hint_hits,
+                              cell.result.agg.restarts});
         csv_rows.push_back({label, cell.result});
       }
       std::cout << "\n";
@@ -208,7 +212,9 @@ int main(int argc, char** argv) {
                 base + "/sh" + std::to_string(n) + std::string(mem);
             if (dist.kind == harness::KeyDist::Kind::kZipf)
               csv_label += ":zipf";
-            if (latency) lat_rows.push_back({csv_label, lat});
+            if (latency)
+              lat_rows.push_back({csv_label, lat, res.kops_per_sec(),
+                                  res.agg.hint_hits, res.agg.restarts});
             csv_rows.push_back({std::move(csv_label), res});
           }
         }

@@ -182,7 +182,10 @@ int main(int argc, char** argv) {
                         << static_cast<double>(all.percentile(0.99)) / 1e3
                         << std::setw(9)
                         << static_cast<double>(all.percentile(0.999)) / 1e3;
-              lat_rows.push_back({label, cell.latency});
+              lat_rows.push_back({label, cell.latency,
+                                  cell.result.kops_per_sec(),
+                                  cell.result.agg.hint_hits,
+                                  cell.result.agg.restarts});
             }
             std::cout << "\n";
             csv_rows.push_back({label, cell.result});

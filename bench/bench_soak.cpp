@@ -166,7 +166,12 @@ int main(int argc, char** argv) {
     const std::string load = harness::shard_load_line(*set);
     if (!load.empty()) std::cout << "    " << load << "\n";
     if (series) print_series(r, cfg.record_latency);
-    if (cfg.record_latency) lat_rows.push_back({id, r.latency});
+    if (cfg.record_latency)
+      lat_rows.push_back({id, r.latency,
+                          r.ms > 0.0 ? static_cast<double>(r.agg.total_ops()) /
+                                           r.ms
+                                     : 0.0,
+                          r.agg.hint_hits, r.agg.restarts});
 
     if (csv)
       for (const auto& s : r.series)

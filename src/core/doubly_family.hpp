@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/hint_index.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/arena.hpp"
@@ -63,6 +64,13 @@ class DoublyFamilyList {
   /// is eligible for slab mode (the catalog / sharded adapters gate
   /// alloc::Mode::kSlab on this trait).
   static constexpr bool kPoolAllocates = true;
+
+  /// Progress traits (iset.hpp matrix; asserted in variants.hpp). The
+  /// family is always mild, so contains() never CASes; the arena/EBR
+  /// walk is one forward pass, and under HP the anchored walk resumes
+  /// from the last validated anchor (bounded restart).
+  static constexpr bool kContainsCasFree = true;
+  static constexpr bool kContainsRestartFree = !ReclaimPolicy<Node>::kHazards;
 
  private:
   static constexpr bool kHazards = Reclaim::kHazards;
@@ -128,16 +136,19 @@ class DoublyFamilyList {
     reclaim::MaybeOwned<ReclaimHandle> rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
+    unsigned hint_tick_ = 0;  // throttles hint publishes (1 in 8 ops)
   };
 
-  explicit DoublyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
+  explicit DoublyFamilyList(std::shared_ptr<Reclaim> domain = nullptr,
+                            bool hints = true)
       : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
-        head_(domain_->construct(kSentinelKey, nullptr, nullptr)) {
+        head_(domain_->construct(kSentinelKey, nullptr, nullptr)),
+        hints_(hints) {
     domain_->track(head_);
   }
   /// Stand-alone list with an explicit allocation mode (slab twins).
-  explicit DoublyFamilyList(alloc::Mode mode)
-      : DoublyFamilyList(std::make_shared<Reclaim>(mode)) {}
+  explicit DoublyFamilyList(alloc::Mode mode, bool hints = true)
+      : DoublyFamilyList(std::make_shared<Reclaim>(mode), hints) {}
   DoublyFamilyList(const DoublyFamilyList&) = delete;
   DoublyFamilyList& operator=(const DoublyFamilyList&) = delete;
 
@@ -258,21 +269,60 @@ class DoublyFamilyList {
     if constexpr (kHazards) hazard::release_cursor(*h.rh_, this);
   }
 
+  /// Validated hint-index candidate, or nullptr -- same flavors and
+  /// safety argument as the singly family (see its hint_start and
+  /// hint_index.hpp): the back-pointer machinery is irrelevant here,
+  /// a hint is validated forward (key/mark) like any anchor.
+  Node* hint_start(Handle& h, long key) {
+    if constexpr (kHazards) {
+      return hints_.best(key, [&](Node* n, int slot) {
+        h.rh_->protect(hazard::kAnchor, n);
+        if (hints_.slot_node(slot) != n) return false;
+        return n->key < key && !n->next.load().marked;
+      });
+    } else {
+      return hints_.best(key, [&](Node* n, int) {
+        return n->key < key && !n->next.load().marked;
+      });
+    }
+  }
+
+  /// Advertise `n` in the hint index, 1 op in 8 (hint_index.hpp caller
+  /// contract: n covered by the caller's guard, observed unmarked
+  /// during this op).
+  void maybe_publish(Handle& h, Node* n) {
+    if (!hints_.enabled()) return;
+    if (n == nullptr || n == head_) return;
+    if ((++h.hint_tick_ & 7u) != 0) return;
+    hints_.publish(n->key, n);
+  }
+
   Node* start_node(Handle& h, long key) {
+    Node* c = nullptr;
     if constexpr (kCursorOn) {
       if constexpr (kHazards) {
         // Another shard took the cell since our last op: our node is
         // unprotected and must not be dereferenced.
         if (!hazard::owns_cursor(*h.rh_, this)) h.cursor_ = nullptr;
       }
-      Node* c = h.cursor_;
+      c = h.cursor_;
       if (c != nullptr && c->key < key) {
         c = recover(c);  // dead cursor: hop back instead of head restart
-        if (c == head_ || c->key < key) return c;
+        if (c == head_) {
+          c = nullptr;  // keep the cursor; the head floor wins below
+        } else if (c->key >= key) {
+          drop_cursor(h);
+          c = nullptr;
+        }
+      } else if (c != nullptr) {
+        drop_cursor(h);
+        c = nullptr;
       }
-      drop_cursor(h);
     }
-    return head_;
+    Node* g = hint_start(h, key);
+    Node* s = start::tighter(head_, c, g);
+    if (s != head_ && s == g) ++h.ctr_.hint_hits;
+    return s;
   }
 
   void update_cursor(Handle& h, Node* n) {
@@ -288,6 +338,7 @@ class DoublyFamilyList {
       Node* n = first;
       while (n != last) {
         Node* next = n->next.load().ptr;
+        hints_.purge(n);  // no slot may name n once retire can free it
         h.rh_->retire(n);
         n = next;
       }
@@ -332,6 +383,7 @@ class DoublyFamilyList {
       }
       // Cleanup CAS lost: resume from prev (recover() hops back if prev
       // itself got marked) rather than from the head.
+      ++h.ctr_.restarts;
       start = prev;
     }
   }
@@ -352,7 +404,8 @@ class DoublyFamilyList {
                   last->back.store(prev, std::memory_order_release);
               }
               retire_run(h, first, last);
-            });
+            },
+            &h.ctr_.restarts);
     return {w.prev, w.cur};
   }
 
@@ -381,10 +434,13 @@ class DoublyFamilyList {
           if (p.cur != nullptr)
             p.cur->back.store(node, std::memory_order_release);
         }
-        if constexpr (kHazards)
-          update_cursor(h, p.prev);
-        else
+        if constexpr (kHazards) {
+          update_cursor(h, p.prev);  // p.prev is anchor-protected; the
+          maybe_publish(h, p.prev);  // fresh node is not in any slot
+        } else {
           update_cursor(h, node);
+          maybe_publish(h, node);
+        }
         return true;
       }
     }
@@ -409,6 +465,7 @@ class DoublyFamilyList {
       }
     }
     update_cursor(h, p.prev);
+    maybe_publish(h, p.prev);
     if (!won) return false;
     if constexpr (kHazards) {
       // Pin succ before the unlink (the kRun slot is free between
@@ -422,7 +479,10 @@ class DoublyFamilyList {
         if (succ != nullptr)
           succ->back.store(p.prev, std::memory_order_release);
       }
-      if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
+      if constexpr (Reclaim::kReclaims) {
+        hints_.purge(p.cur);
+        h.rh_->retire(p.cur);
+      }
     }
     return true;
   }
@@ -484,7 +544,10 @@ class DoublyFamilyList {
       if (succ != nullptr) h.rh_->protect(hazard::kRun, succ);
     }
     if (p.prev->next.cas_clean(p.cur, succ)) {
-      if constexpr (Reclaim::kReclaims) h.rh_->leak(p.cur);
+      if constexpr (Reclaim::kReclaims) {
+        hints_.purge(p.cur);  // leaves the live chain now; freed at
+        h.rh_->leak(p.cur);   // teardown via the leak ledger
+      }
     }
     return true;
   }
@@ -507,6 +570,7 @@ class DoublyFamilyList {
         cur = cv.ptr;
       }
       update_cursor(h, prev);
+      maybe_publish(h, prev);
       return cur != nullptr && cur->key == key;
     }
   }
@@ -515,8 +579,10 @@ class DoublyFamilyList {
     const auto w =
         hazard::anchored_walk<Traversal::kMild, Backoff::kNone, false, Node>(
             *h.rh_, key, [&] { return start_node(h, key); },
-            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {});
+            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {},
+            &h.ctr_.restarts);
     update_cursor(h, w.prev);
+    maybe_publish(h, w.prev);  // kAnchor still covers w.prev
     return w.cur != nullptr && w.cur->key == key;
   }
 
@@ -527,14 +593,29 @@ class DoublyFamilyList {
   long do_scan(Handle& h, long from, long hi, long limit,
                const KeySink& sink) {
     [[maybe_unused]] auto guard = h.rh_->guard();
-    if constexpr (kHazards)
-      return scan::hazard_scan(*h.rh_, head_, from, hi, limit, sink);
-    else
-      return scan::plain_scan(head_, from, hi, limit, sink);
+    if constexpr (kHazards) {
+      return scan::hazard_scan(
+          *h.rh_, head_, from, hi, limit, sink,
+          [&] {
+            Node* g = hint_start(h, from);
+            if (g == nullptr) return head_;
+            ++h.ctr_.hint_hits;
+            return g;  // validated key < from, kAnchor-covered
+          },
+          &h.ctr_.restarts);
+    } else {
+      // A validated hint with key < from is a correct pseudo-head: all
+      // keys it skips are below the range.
+      Node* g = hint_start(h, from);
+      if (g != nullptr) ++h.ctr_.hint_hits;
+      return scan::plain_scan(g != nullptr ? g : head_, from, hi, limit,
+                              sink);
+    }
   }
 
   std::shared_ptr<Reclaim> domain_;
   Node* head_;
+  HintIndex<Node> hints_;
 };
 
 using DoublyList = DoublyFamilyList<Cursor::kNone, true>;

@@ -1,0 +1,171 @@
+// Wait-free shortcut-hint index: a fixed array of (key, node*) slots
+// that lets the read path start a traversal at the greatest recently
+// published node with key < target instead of at the head sentinel.
+//
+// The slot pair is *routing data, never truth*: the key field is a
+// relaxed, possibly-torn copy used only to pick a candidate, and every
+// candidate must be re-validated by the caller -- key/mark check under
+// the caller's existing reclamation cover (arena: addresses are
+// stable; EBR: the op's epoch pin; HP: one kAnchor publish plus a slot
+// re-read, see best()). A stale hint therefore costs one failed
+// validation and a decay to the next candidate, never correctness.
+//
+// Lifecycle protocol (all slot accesses that matter are seq_cst; the
+// safety argument needs the single total order S):
+//
+//   publish(k, n)  -- caller guarantees n is covered by its guard and
+//     was observed unmarked during the current op. Store the slot
+//     (node seq_cst), then RE-CHECK n's mark with a no-op RMW
+//     (MarkPtr::load_rmw): an RMW reads the latest value in n->next's
+//     modification order, so it cannot miss a concurrent mark the way
+//     a plain load can. If marked, self-clear the slot (CAS n -> null)
+//     while the guard still covers n.
+//   purge(n)       -- the retiring thread clears every slot holding n
+//     *before* retire(n)/leak(n). With publish-store, re-check RMW and
+//     purge all seq_cst, either publish <S purge (the purge's load
+//     sees n and clears it) or the re-check sees the mark (mark <S
+//     purge <S publish <S re-check would order the re-check after the
+//     mark) and the publisher self-clears. Both ways, no slot names n
+//     once its retirement can free it -- except transiently while some
+//     publisher's guard still pins n alive.
+//   best(k, valid) -- try candidates in descending key order, at most
+//     one validation per slot (a tried-mask), so lookup is wait-free:
+//     <= kSlots validations regardless of concurrent writers.
+//
+// Why a validated hint is then safe to dereference, per reclaimer, is
+// the engines' argument (docs/ARCHITECTURE.md "Read path"): the short
+// version is that an HP reader re-reads the slot *after* its kAnchor
+// publish (protect <S purge <S retire means the retirer's hazard scan
+// sees the protection), and an EBR reader pinned late enough to allow
+// the free must have pinned after an epoch advance that happens-after
+// the purge, so it reads the cleared slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace pragmalist::core {
+
+template <typename Node>
+class HintIndex {
+ public:
+  static constexpr int kSlots = 8;
+
+  explicit HintIndex(bool enabled = true) : enabled_(enabled) {}
+  HintIndex(const HintIndex&) = delete;
+  HintIndex& operator=(const HintIndex&) = delete;
+
+  /// Runtime off-switch: the catalog's `/nohint` twin ids construct the
+  /// engine with hints disabled so the A/B pricing is a pure read-path
+  /// diff (same binary, same layout, no publish/lookup traffic).
+  bool enabled() const { return enabled_; }
+
+  /// Publish (key, n) into key's slot. Caller contract: n is covered by
+  /// the caller's reclamation guard for the whole call and was observed
+  /// unmarked during the current operation. See file comment for the
+  /// re-check/self-clear rule.
+  void publish(long key, Node* n) {
+    if (!enabled_ || n == nullptr) return;
+    Slot& s = slots_[slot_of(key)];
+    s.key.store(key, std::memory_order_relaxed);
+    s.node.store(n, std::memory_order_seq_cst);
+    if (n->next.load_rmw().marked) {
+      // n died before (or while) we advertised it: withdraw the hint
+      // ourselves -- the retirer's purge may already have run and
+      // missed our store. The guard still covers n, so the RMW above
+      // and this CAS never touch freed memory.
+      Node* expected = n;
+      s.node.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+    }
+  }
+
+  /// Clear every slot naming n. MUST run before every retire(n) /
+  /// leak(n) of a node that may ever have been published (engines call
+  /// it on every retirement path; 8 relaxed loads make the miss case
+  /// nearly free).
+  void purge(Node* n) {
+    if (n == nullptr) return;
+    for (Slot& s : slots_) {
+      if (s.node.load(std::memory_order_seq_cst) != n) continue;
+      Node* expected = n;
+      s.node.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+    }
+  }
+
+  /// Greatest validated candidate, or nullptr (start from the head).
+  /// `valid(n, slot)` runs the caller's validation -- key/mark check
+  /// under its guard; HP callers additionally kAnchor-protect n and
+  /// re-read slot_node(slot) == n before dereferencing. Candidates are
+  /// tried in descending routing-key order; each slot is tried at most
+  /// once (decay chain: next hint, then head), so the lookup is
+  /// wait-free.
+  template <typename Validate>
+  Node* best(long key, Validate&& valid) const {
+    if (!enabled_) return nullptr;
+    std::uint32_t tried = 0;
+    while (tried != (1u << kSlots) - 1) {
+      int pick = -1;
+      long pick_key = std::numeric_limits<long>::min();
+      Node* pick_node = nullptr;
+      for (int i = 0; i < kSlots; ++i) {
+        if (tried & (1u << i)) continue;
+        // The node load must synchronize with the publisher's seq_cst
+        // store: validation dereferences plain fields (key, the node's
+        // construction), and the publish store is the only edge that
+        // orders them after the node's initialization for a reader
+        // that never walked to n. The routing key stays relaxed -- it
+        // is never dereferenced, only compared.
+        Node* n = slots_[i].node.load(std::memory_order_seq_cst);
+        const long k = slots_[i].key.load(std::memory_order_relaxed);
+        if (n == nullptr || k >= key) {
+          // Empty, or routing key not below the target: useless this
+          // lookup (the real check is on n->key during validation; the
+          // routing key only prunes).
+          tried |= 1u << i;
+          continue;
+        }
+        if (pick < 0 || k > pick_key) {
+          pick = i;
+          pick_key = k;
+          pick_node = n;
+        }
+      }
+      if (pick < 0) return nullptr;
+      tried |= 1u << static_cast<std::uint32_t>(pick);
+      if (valid(pick_node, pick)) return pick_node;
+    }
+    return nullptr;
+  }
+
+  /// Seq_cst slot re-read for the HP validation handshake: a reader
+  /// that protected n and still sees it here is ordered before any
+  /// purge of n, hence before the retire that could free it.
+  Node* slot_node(int slot) const {
+    return slots_[slot].node.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  // One slot per cache line: publishers from different threads land on
+  // different lines (slot_of spreads by key), and readers scanning all
+  // eight pay a predictable eight-line touch.
+  struct alignas(64) Slot {
+    std::atomic<long> key{0};
+    std::atomic<Node*> node{nullptr};
+  };
+
+  static std::size_t slot_of(long key) {
+    // Fibonacci mix of the key's bits; top bits select the slot.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 61);
+  }
+
+  Slot slots_[kSlots];
+  const bool enabled_;
+};
+
+}  // namespace pragmalist::core

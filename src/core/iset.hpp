@@ -22,6 +22,15 @@ namespace pragmalist::core {
 /// (prefill + adds - rems == population) depends on the success counts.
 /// `scan_calls` counts range_scan()/ascend() invocations (one per call,
 /// like the other *_calls) and `scans` the keys those calls emitted.
+///
+/// `hint_hits` and `restarts` are read-path progress diagnostics, not
+/// operations, and are deliberately excluded from total_ops():
+/// hint_hits counts traversal starts taken from a validated shortcut
+/// (hint index or cursor composed via core::start::tighter), restarts
+/// counts lost anchors -- a traversal pass abandoned and resumed
+/// (plain search sweep-CAS losses, HP anchor revalidation failures).
+/// The starvation tier asserts restarts stays proportional to ops --
+/// bounded retries -- and bench_latency prints both per cell.
 struct OpCounters {
   long adds = 0;
   long rems = 0;
@@ -31,6 +40,8 @@ struct OpCounters {
   long rem_calls = 0;
   long con_calls = 0;
   long scan_calls = 0;
+  long hint_hits = 0;
+  long restarts = 0;
 
   long total_ops() const {
     return add_calls + rem_calls + con_calls + scan_calls;
@@ -45,9 +56,48 @@ struct OpCounters {
     rem_calls += o.rem_calls;
     con_calls += o.con_calls;
     scan_calls += o.scan_calls;
+    hint_hits += o.hint_hits;
+    restarts += o.restarts;
     return *this;
   }
 };
+
+// --- Progress-guarantee matrix (engine x reclaimer x op) -------------
+//
+// What each read/write path guarantees, by construction. "CAS-free"
+// means the op never issues a compare-and-swap (it can still be made
+// to wait by cache traffic); "restart-free" means one forward pass,
+// never abandoned; "bounded-restart" means a lost pass resumes from
+// the last validated anchor (kept protected across the restart), so
+// the validated key-space prefix is never re-walked; "wait-free
+// lookup" refers to the hint index's candidate selection (<= H
+// validations, tried-mask bounded), independent of writers.
+//
+//                     arena / EBR              HP
+//   contains (mild,
+//     singly/doubly)  CAS-free, restart-free   CAS-free, bounded-restart
+//   contains
+//     (draconic)      helps unlink: CAS +      same, anchored walk
+//                     restart on lost CAS
+//   contains
+//     (unrolled)      CAS-free; miss confirm   CAS-free walks; same
+//                     may re-route (version    version re-route loop
+//                     check), unbounded only
+//                     under continuous resize
+//   range_scan/ascend CAS-free, restart-free   CAS-free, bounded-restart
+//     (singly/doubly) (one pass)               (resume past last emitted)
+//   add/remove        lock-free (CAS retry); hint/cursor starts shorten
+//     (all engines)   the reattempt walk, sweep losses resume from prev
+//
+// The arena/EBR mild `contains` column is the paper's claim made
+// enforceable: the walk in SinglyFamilyList::do_contains /
+// DoublyFamilyList::do_contains issues no CAS and never loops back --
+// the engines export kContainsCasFree / kContainsRestartFree and
+// variants.hpp static_asserts the whole grid, so a regression that
+// adds a CAS or a restart to that path fails to compile, not to
+// benchmark. Hint-index lookups keep every guarantee above: a stale
+// hint costs one failed validation and decays (next candidate, then
+// head) -- never a retry loop.
 
 /// Receives the keys a range scan emits, in ascending order.
 using KeySink = std::function<void(long)>;

@@ -72,6 +72,16 @@ class MarkPtr {
     return unpack(bits_.load(order)).ptr;
   }
 
+  /// Re-read via a no-op RMW (fetch_or 0, seq_cst). Unlike a plain
+  /// load, an RMW reads the *latest* value in this cell's modification
+  /// order, so it cannot lag behind a concurrent mark. The hint index
+  /// publish protocol depends on exactly that (hint_index.hpp): the
+  /// post-publish mark re-check must not miss a mark that a purge has
+  /// already acted on.
+  Value load_rmw() {
+    return unpack(bits_.fetch_or(0, std::memory_order_seq_cst));
+  }
+
   void store(Node* p, std::memory_order order = std::memory_order_release) {
     bits_.store(pack(p, false), order);
   }
@@ -245,27 +255,49 @@ struct WalkPos {
                // target, or nullptr
 };
 
-/// Walk toward `key` from start_node(), restarting on any validation
-/// failure. kMutate: guarantee physical adjacency prev->next == cur on
-/// return, sweeping the dead run with one CAS if needed and invoking
-/// on_swept(prev, first, last) on success (the caller retires the
-/// detached [first..last) and refreshes back hints there). Read-only
-/// (!kMutate): never CAS; cur may sit behind a dead run.
-/// on_dead_start() runs when the start node died under the walk (the
-/// caller drops its cursor); start_node() is then expected to fall
-/// back to the head.
+/// Walk toward `key` from start_node(). kMutate: guarantee physical
+/// adjacency prev->next == cur on return, sweeping the dead run with
+/// one CAS if needed and invoking on_swept(prev, first, last) on
+/// success (the caller retires the detached [first..last) -- purging
+/// any hint-index slots first -- and refreshes back hints there; the
+/// draconic inline unlink routes through the same hook with a
+/// one-node run, so the caller's purge-before-retire rule covers it
+/// too). Read-only (!kMutate): never CAS; cur may sit behind a dead
+/// run. on_dead_start() runs when the start node died under the walk
+/// (the caller drops its cursor); start_node() is then expected to
+/// fall back to the head.
+///
+/// Bounded restart: a lost anchor (failed revalidation or sweep CAS)
+/// no longer abandons the whole walk. `prev` is still kAnchor-
+/// protected, so if it is still unmarked the next pass resumes from
+/// it -- the validated prefix of the key space is never re-walked,
+/// which is what turns an HP read's worst case from "restart from the
+/// head unboundedly" into "local retry at the contention point". Only
+/// a *dead* resume point decays to start_node() (cursor/hint/head).
+/// Every lost anchor bumps *restarts when the caller passes a counter
+/// (surfaced as OpCounters::restarts).
 template <Traversal kTraversal, Backoff kBackoff, bool kMutate,
           typename Node, typename ReclaimHandle, typename StartFn,
           typename DeadStartFn, typename SweptFn>
 WalkPos<Node> anchored_walk(ReclaimHandle& rh, long key, StartFn&& start_node,
-                            DeadStartFn&& on_dead_start, SweptFn&& on_swept) {
+                            DeadStartFn&& on_dead_start, SweptFn&& on_swept,
+                            long* restarts = nullptr) {
   Backoffer bo;
+  Node* resume = nullptr;  // last validated anchor, still in kAnchor
   for (;;) {
-    Node* prev = start_node();  // head, or a cursor covered by kCursor
-    rh.protect(kAnchor, prev);
+    const bool resumed = resume != nullptr;
+    Node* prev;
+    if (resumed) {
+      prev = resume;  // kAnchor already covers it
+      resume = nullptr;
+    } else {
+      prev = start_node();  // head, or a cursor/hint covered elsewhere
+      rh.protect(kAnchor, prev);
+    }
     const auto pv = prev->next.load();
-    if (pv.marked) {  // cursor start died between its check and here
-      on_dead_start();
+    if (pv.marked) {
+      if (resumed) continue;  // dead resume anchor: decay to start_node
+      on_dead_start();  // cursor start died between its check and here
       continue;
     }
     Node* left_next = pv.ptr;
@@ -287,9 +319,11 @@ WalkPos<Node> anchored_walk(ReclaimHandle& rh, long key, StartFn&& start_node,
         if constexpr (kTraversal == Traversal::kDraconic) {
           // Never step over a dead node: unlink it now or start over.
           // left_next == cur here, so the CAS expectation is covered
-          // by the kWalk hazard.
+          // by the kWalk hazard. The detached one-node run goes
+          // through on_swept like any other, so the caller's
+          // purge-before-retire discipline holds here too.
           if (prev->next.cas_clean(cur, cv.ptr)) {
-            rh.retire(cur);
+            on_swept(prev, cur, cv.ptr);
             left_next = cv.ptr;
             cur = cv.ptr;
             continue;
@@ -324,11 +358,40 @@ WalkPos<Node> anchored_walk(ReclaimHandle& rh, long key, StartFn&& start_node,
         }
       }
     }
+    // Lost the anchor (revalidation or sweep CAS). prev stays kAnchor-
+    // protected, so resume there next pass if it is still live.
+    if (restarts != nullptr) ++*restarts;
+    resume = prev;
     if constexpr (kBackoff == Backoff::kExponential) bo.pause();
   }
 }
 
 }  // namespace hazard
+
+/// Traversal-start selection shared by the list families. Two
+/// independent shortcut mechanisms can propose a start anchor for the
+/// same search -- the per-handle cursor (Cursor::kPerHandle) and the
+/// set-wide hint index (hint_index.hpp) -- and before this helper each
+/// engine picked whichever it consulted first, so the two raced
+/// instead of composing. The rule lives here, once: every candidate
+/// the caller passes must already be *validated* (key < target,
+/// unmarked, covered by the caller's guard -- under HP the cursor sits
+/// in kCursor and the hint in kAnchor, so both stay protected through
+/// the pick), and the tighter anchor -- the greatest key -- wins.
+/// nullptr candidates mean "no proposal"; the head is the floor.
+namespace start {
+
+template <typename Node>
+Node* tighter(Node* head, Node* cursor, Node* hint) {
+  Node* best = head;
+  if (cursor != nullptr && (best == head || cursor->key > best->key))
+    best = cursor;
+  if (hint != nullptr && (best == head || hint->key > best->key))
+    best = hint;
+  return best;
+}
+
+}  // namespace start
 
 /// Ordered range scans shared by every marked-pointer list. `Node`
 /// must expose `key` and a MarkPtr<Node> `next`. Three protocols, one
@@ -378,20 +441,47 @@ long plain_scan(const Node* head, long from, long hi, long limit,
 /// The hazard-pointer scan protocol. Walks with the anchored-validation
 /// slot discipline of hazard::anchored_walk (kAnchor / kWalk / kRun;
 /// the persistent kCursor cell is never touched, so a scan cannot
-/// disturb the owning engine's cursor). On any failed anchor
-/// revalidation the walk restarts from the head but only resumes
-/// emitting past `next_from`, the successor of the last emitted key --
-/// re-walked prefix keys were already observed in an earlier pass, so
-/// observation instants still increase along the key space.
-template <typename Node, typename ReclaimHandle, typename Sink>
+/// disturb the owning engine's cursor). On a failed anchor
+/// revalidation the walk resumes from the last validated anchor while
+/// that anchor is still live (it stays kAnchor-protected across the
+/// restart) and only decays to start_node() -- a validated hint, or
+/// the head -- when the anchor died; either way emission resumes past
+/// `next_from`, the successor of the last emitted key, so re-walked
+/// prefix keys (already observed in an earlier pass) are never
+/// emitted twice and observation instants still increase along the
+/// key space. start_node() must return either the head or a node
+/// validated unmarked with key < the first position still wanted,
+/// already covered by kAnchor. Each lost anchor bumps *restarts.
+template <typename Node, typename ReclaimHandle, typename Sink,
+          typename StartFn>
 long hazard_scan(ReclaimHandle& rh, Node* head, long from, long hi,
-                 long limit, Sink&& sink) {
+                 long limit, Sink&& sink, StartFn&& start_node,
+                 long* restarts = nullptr) {
   long emitted = 0;
   long next_from = from;  // first key position not yet observed
+  Node* resume = nullptr;  // last validated anchor, still in kAnchor
+  bool first_pass = true;
   for (;;) {
     bool restart = false;
-    Node* prev = head;  // the head sentinel is never marked
-    rh.protect(hazard::kAnchor, prev);
+    Node* prev;
+    if (resume != nullptr && !resume->next.load().marked) {
+      prev = resume;  // kAnchor already covers it
+    } else if (first_pass) {
+      prev = start_node();  // validated hint (kAnchor-covered) or head
+      rh.protect(hazard::kAnchor, prev);
+      // A hint start may die between its validation and here; the
+      // in-loop anchor revalidation would catch it, but a dead start
+      // should decay straight to the head, not spin.
+      if (prev != head && prev->next.load().marked) {
+        prev = head;
+        rh.protect(hazard::kAnchor, prev);
+      }
+    } else {
+      prev = head;  // the head sentinel is never marked
+      rh.protect(hazard::kAnchor, prev);
+    }
+    first_pass = false;
+    resume = nullptr;
     Node* left_next = prev->next.load().ptr;
     Node* cur = left_next;
     while (cur != nullptr) {
@@ -426,7 +516,21 @@ long hazard_scan(ReclaimHandle& rh, Node* head, long from, long hi,
       cur = cv.ptr;
     }
     if (!restart) return emitted;  // clean end of chain
+    // Lost the anchor: resume from it while it lives (it stays in
+    // kAnchor), decay to the head once it dies.
+    if (restarts != nullptr) ++*restarts;
+    resume = prev;
   }
+}
+
+/// Convenience overload: head start, no restart counter (quiescent
+/// helpers and callers without a hint index).
+template <typename Node, typename ReclaimHandle, typename Sink>
+long hazard_scan(ReclaimHandle& rh, Node* head, long from, long hi,
+                 long limit, Sink&& sink) {
+  return hazard_scan(rh, head, from, hi, limit,
+                     static_cast<Sink&&>(sink), [&] { return head; },
+                     nullptr);
 }
 
 }  // namespace scan

@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/hint_index.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/arena.hpp"
@@ -73,6 +74,17 @@ class SinglyFamilyList {
   /// is eligible for slab mode (the catalog / sharded adapters gate
   /// alloc::Mode::kSlab on this trait).
   static constexpr bool kPoolAllocates = true;
+
+  /// Progress traits, asserted across the grid in variants.hpp (see
+  /// the matrix in iset.hpp). The mild variants answer contains()
+  /// without ever issuing a CAS; on top of that, the arena/EBR walk is
+  /// one forward pass -- no restart path exists in do_contains's plain
+  /// branch at all. Draconic readers help unlink (CAS + restart on a
+  /// lost CAS) by design; HP readers are CAS-free but bounded-restart
+  /// (anchored_walk resumes from the last validated anchor).
+  static constexpr bool kContainsCasFree = kTraversal == Traversal::kMild;
+  static constexpr bool kContainsRestartFree =
+      kContainsCasFree && !ReclaimPolicy<Node>::kHazards;
 
  private:
   static constexpr bool kHazards = Reclaim::kHazards;
@@ -142,16 +154,19 @@ class SinglyFamilyList {
     reclaim::MaybeOwned<ReclaimHandle> rh_;
     OpCounters ctr_;
     Node* cursor_ = nullptr;
+    unsigned hint_tick_ = 0;  // throttles hint publishes (1 in 8 ops)
   };
 
-  explicit SinglyFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
+  explicit SinglyFamilyList(std::shared_ptr<Reclaim> domain = nullptr,
+                            bool hints = true)
       : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
-        head_(domain_->construct(kSentinelKey)) {
+        head_(domain_->construct(kSentinelKey)),
+        hints_(hints) {
     domain_->track(head_);
   }
   /// Stand-alone list with an explicit allocation mode (slab twins).
-  explicit SinglyFamilyList(alloc::Mode mode)
-      : SinglyFamilyList(std::make_shared<Reclaim>(mode)) {}
+  explicit SinglyFamilyList(alloc::Mode mode, bool hints = true)
+      : SinglyFamilyList(std::make_shared<Reclaim>(mode), hints) {}
   SinglyFamilyList(const SinglyFamilyList&) = delete;
   SinglyFamilyList& operator=(const SinglyFamilyList&) = delete;
 
@@ -245,23 +260,63 @@ class SinglyFamilyList {
     if constexpr (kHazards) hazard::release_cursor(*h.rh_, this);
   }
 
+  /// Validated hint-index candidate for a traversal toward `key`, or
+  /// nullptr. Arena/EBR flavor: key/mark check only (arena addresses
+  /// are stable; under EBR the caller's pin plus the purge/advance
+  /// ordering keep a slot-visible node allocated -- see
+  /// hint_index.hpp). HP flavor: kAnchor-protect the candidate, then
+  /// re-read the slot seq_cst -- still naming it means the protection
+  /// is ordered before any purge, hence before the retire that could
+  /// free it -- then the same key/mark check. Either way the candidate
+  /// stays covered through the caller's start-node pick.
+  Node* hint_start(Handle& h, long key) {
+    if constexpr (kHazards) {
+      return hints_.best(key, [&](Node* n, int slot) {
+        h.rh_->protect(hazard::kAnchor, n);
+        if (hints_.slot_node(slot) != n) return false;
+        return n->key < key && !n->next.load().marked;
+      });
+    } else {
+      return hints_.best(key, [&](Node* n, int) {
+        return n->key < key && !n->next.load().marked;
+      });
+    }
+  }
+
+  /// Advertise `n` in the hint index, 1 op in 8 (the slots go stale in
+  /// well under 8 ops' time only under adversarial churn, and the
+  /// publish is two seq_cst accesses -- too dear for every contains).
+  /// Caller contract (hint_index.hpp): n covered by the caller's guard
+  /// (HP: a hazard slot) and observed unmarked during this op.
+  void maybe_publish(Handle& h, Node* n) {
+    if (!hints_.enabled()) return;
+    if (n == nullptr || n == head_) return;
+    if ((++h.hint_tick_ & 7u) != 0) return;
+    hints_.publish(n->key, n);
+  }
+
   Node* start_node(Handle& h, long key) {
+    Node* c = nullptr;
     if constexpr (kCursorOn) {
       if constexpr (kHazards) {
         // Another shard took the cell since our last op: our node is
         // unprotected and must not be dereferenced.
         if (!hazard::owns_cursor(*h.rh_, this)) h.cursor_ = nullptr;
       }
-      Node* c = h.cursor_;
-      if (c != nullptr && c->key < key && !c->next.load().marked) {
+      c = h.cursor_;
+      if (c != nullptr && !(c->key < key && !c->next.load().marked)) {
         // Unmarked implies still physically linked (nodes are only ever
-        // unlinked after being marked), so the suffix from c is a valid
-        // place to begin. Under HP the cursor slot keeps c allocated.
-        return c;
+        // unlinked after being marked), so the suffix from a validated
+        // cursor is a valid place to begin. Under HP the cursor slot
+        // keeps it allocated.
+        drop_cursor(h);
+        c = nullptr;
       }
-      drop_cursor(h);
     }
-    return head_;
+    Node* g = hint_start(h, key);
+    Node* s = start::tighter(head_, c, g);
+    if (s != head_ && s == g) ++h.ctr_.hint_hits;
+    return s;
   }
 
   /// Remember `n` as the handle's next search hint. Under hazards the
@@ -284,6 +339,7 @@ class SinglyFamilyList {
       Node* n = first;
       while (n != last) {
         Node* next = n->next.load().ptr;  // read before retire: a scan
+        hints_.purge(n);  // no slot may name n once retire can free it
         h.rh_->retire(n);                  // may free n immediately
         n = next;
       }
@@ -320,7 +376,10 @@ class SinglyFamilyList {
           if constexpr (kTraversal == Traversal::kDraconic) {
             // Never step over a dead node: unlink it now or start over.
             if (prev->next.cas_clean(cur, cv.ptr)) {
-              if constexpr (Reclaim::kReclaims) h.rh_->retire(cur);
+              if constexpr (Reclaim::kReclaims) {
+                hints_.purge(cur);
+                h.rh_->retire(cur);
+              }
               left_next = cv.ptr;
               cur = cv.ptr;
               continue;
@@ -346,8 +405,17 @@ class SinglyFamilyList {
         }
         restart = true;
       }
+      // Lost the position (helping CAS or sweep CAS). The mild
+      // variants resume from prev while it lives -- dereferenceable
+      // here by construction (arena: stable addresses; EBR: the op's
+      // pin) -- so the validated prefix is never re-walked; draconic
+      // keeps its from-the-head discipline.
+      ++h.ctr_.restarts;
       if constexpr (kBackoff == Backoff::kExponential) bo.pause();
-      start = kTraversal == Traversal::kDraconic ? head_ : start_node(h, key);
+      if constexpr (kTraversal == Traversal::kDraconic)
+        start = head_;
+      else
+        start = !prev->next.load().marked ? prev : start_node(h, key);
     }
   }
 
@@ -358,7 +426,8 @@ class SinglyFamilyList {
     const auto w = hazard::anchored_walk<kTraversal, kBackoff, true, Node>(
         *h.rh_, key, [&] { return start_node(h, key); },
         [&] { drop_cursor(h); },
-        [&](Node*, Node* first, Node* last) { retire_run(h, first, last); });
+        [&](Node*, Node* first, Node* last) { retire_run(h, first, last); },
+        &h.ctr_.restarts);
     return {w.prev, w.cur};
   }
 
@@ -379,10 +448,13 @@ class SinglyFamilyList {
         node->next.store(p.cur);
       if (p.prev->next.cas_clean(p.cur, node)) {
         domain_->track(node);
-        if constexpr (kHazards)
+        if constexpr (kHazards) {
           update_cursor(h, p.prev);  // p.prev is anchor-protected; the
-        else                         // fresh node is not in any slot
+          maybe_publish(h, p.prev);  // fresh node is not in any slot
+        } else {
           update_cursor(h, node);
+          maybe_publish(h, node);
+        }
         return true;
       }
       if constexpr (kBackoff == Backoff::kExponential) bo.pause();
@@ -414,12 +486,16 @@ class SinglyFamilyList {
       }
     }
     update_cursor(h, p.prev);
+    maybe_publish(h, p.prev);
     if (!won) return false;
     // Physical unlink: one attempt in the mild variants (the next
     // search will sweep it), mandatory help in the draconic one. A
     // successful CAS detached exactly p.cur, so we own its retirement.
     if (p.prev->next.cas_clean(p.cur, succ)) {
-      if constexpr (Reclaim::kReclaims) h.rh_->retire(p.cur);
+      if constexpr (Reclaim::kReclaims) {
+        hints_.purge(p.cur);
+        h.rh_->retire(p.cur);
+      }
     } else {
       if constexpr (kTraversal == Traversal::kDraconic) search(h, key);
     }
@@ -493,7 +569,10 @@ class SinglyFamilyList {
     }
     if (!won) return false;
     if (p.prev->next.cas_clean(p.cur, succ)) {
-      if constexpr (Reclaim::kReclaims) h.rh_->leak(p.cur);
+      if constexpr (Reclaim::kReclaims) {
+        hints_.purge(p.cur);  // a leaked node is freed at teardown, but
+        h.rh_->leak(p.cur);   // it leaves the live chain now
+      }
     }
     return true;
   }
@@ -507,6 +586,8 @@ class SinglyFamilyList {
     } else if constexpr (kHazards) {
       return contains_hazard(h, key);
     } else {
+      // The fast lane (iset.hpp matrix): one forward pass from the
+      // tighter of cursor/hint/head, no CAS, no restart path at all.
       Node* prev = start_node(h, key);
       Node* cur = prev->next.load().ptr;
       while (cur != nullptr) {
@@ -520,6 +601,7 @@ class SinglyFamilyList {
         cur = cv.ptr;
       }
       update_cursor(h, prev);
+      maybe_publish(h, prev);
       return cur != nullptr && cur->key == key;
     }
   }
@@ -533,10 +615,24 @@ class SinglyFamilyList {
   long do_scan(Handle& h, long from, long hi, long limit,
                const KeySink& sink) {
     [[maybe_unused]] auto guard = h.rh_->guard();
-    if constexpr (kHazards)
-      return scan::hazard_scan(*h.rh_, head_, from, hi, limit, sink);
-    else
-      return scan::plain_scan(head_, from, hi, limit, sink);
+    if constexpr (kHazards) {
+      return scan::hazard_scan(
+          *h.rh_, head_, from, hi, limit, sink,
+          [&] {
+            Node* g = hint_start(h, from);
+            if (g == nullptr) return head_;
+            ++h.ctr_.hint_hits;
+            return g;  // validated key < from, kAnchor-covered
+          },
+          &h.ctr_.restarts);
+    } else {
+      // A validated hint with key < from is a correct pseudo-head for
+      // the plain scan: every key it skips is below the range.
+      Node* g = hint_start(h, from);
+      if (g != nullptr) ++h.ctr_.hint_hits;
+      return scan::plain_scan(g != nullptr ? g : head_, from, hi, limit,
+                              sink);
+    }
   }
 
   /// The mild contains under HP: still CAS-free (read-only walk), but
@@ -545,13 +641,16 @@ class SinglyFamilyList {
     const auto w =
         hazard::anchored_walk<Traversal::kMild, kBackoff, false, Node>(
             *h.rh_, key, [&] { return start_node(h, key); },
-            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {});
+            [&] { drop_cursor(h); }, [](Node*, Node*, Node*) {},
+            &h.ctr_.restarts);
     update_cursor(h, w.prev);
+    maybe_publish(h, w.prev);  // kAnchor still covers w.prev
     return w.cur != nullptr && w.cur->key == key;
   }
 
   std::shared_ptr<Reclaim> domain_;
   Node* head_;
+  HintIndex<Node> hints_;
 };
 
 using DraconicList = SinglyFamilyList<Traversal::kDraconic, Marking::kCas,

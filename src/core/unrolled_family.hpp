@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "src/common/debug.hpp"
+#include "src/core/hint_index.hpp"
 #include "src/core/iset.hpp"
 #include "src/core/list_base.hpp"
 #include "src/reclaim/maybe_owned.hpp"
@@ -115,6 +116,15 @@ class UnrolledFamilyList {
   /// intended tenant: sizeof(Node) is a cache-line multiple, so slab
   /// slots tile without waste.
   static constexpr bool kPoolAllocates = true;
+
+  /// Progress traits (iset.hpp matrix; asserted in variants.hpp).
+  /// contains never CASes, but it is *not* restart-free under any
+  /// reclaimer: a miss must be confirmed by a second route landing on
+  /// the same covering node at the same seqlock version, and a moved
+  /// node re-routes -- bounded in practice, unbounded only under
+  /// continuous split/merge at the probed anchor.
+  static constexpr bool kContainsCasFree = true;
+  static constexpr bool kContainsRestartFree = false;
 
  private:
   static constexpr bool kHazards = Reclaim::kHazards;
@@ -182,16 +192,19 @@ class UnrolledFamilyList {
     UnrolledFamilyList* list_;
     reclaim::MaybeOwned<ReclaimHandle> rh_;
     OpCounters ctr_;
+    unsigned hint_tick_ = 0;  // throttles hint publishes (1 in 8 ops)
   };
 
-  explicit UnrolledFamilyList(std::shared_ptr<Reclaim> domain = nullptr)
+  explicit UnrolledFamilyList(std::shared_ptr<Reclaim> domain = nullptr,
+                              bool hints = true)
       : domain_(domain ? std::move(domain) : std::make_shared<Reclaim>()),
-        head_(domain_->construct(kHeadAnchor)) {
+        head_(domain_->construct(kHeadAnchor)),
+        hints_(hints) {
     domain_->track(head_);
   }
   /// Stand-alone list with an explicit allocation mode (slab twins).
-  explicit UnrolledFamilyList(alloc::Mode mode)
-      : UnrolledFamilyList(std::make_shared<Reclaim>(mode)) {}
+  explicit UnrolledFamilyList(alloc::Mode mode, bool hints = true)
+      : UnrolledFamilyList(std::make_shared<Reclaim>(mode), hints) {}
   UnrolledFamilyList(const UnrolledFamilyList&) = delete;
   UnrolledFamilyList& operator=(const UnrolledFamilyList&) = delete;
 
@@ -453,7 +466,10 @@ class UnrolledFamilyList {
   }
 
   void retire_one(Handle& h, Node* n) {
-    if constexpr (Reclaim::kReclaims) h.rh_->retire(n);
+    if constexpr (Reclaim::kReclaims) {
+      hints_.purge(n);  // no slot may name n once retire can free it
+      h.rh_->retire(n);
+    }
   }
 
   /// Retire every node of the detached run [first, last): after the
@@ -464,10 +480,40 @@ class UnrolledFamilyList {
       Node* n = first;
       while (n != last) {
         Node* next = n->next.load().ptr;  // read before retire: a scan
+        hints_.purge(n);
         h.rh_->retire(n);                 // may free n immediately
         n = next;
       }
     }
+  }
+
+  /// Validated hint-index candidate for a walk toward `probe`, or
+  /// nullptr. A validated fat node (unmarked, anchor < probe) is a
+  /// correct routing start: anchors increase along the chain, so the
+  /// covering node sits at or after it. Same per-reclaimer validation
+  /// as the singly family (hint_index.hpp).
+  Node* hint_start(Handle& h, long probe) {
+    if constexpr (kHazards) {
+      return hints_.best(probe, [&](Node* n, int slot) {
+        h.rh_->protect(hazard::kAnchor, n);
+        if (hints_.slot_node(slot) != n) return false;
+        return n->key < probe && !n->next.load().marked;
+      });
+    } else {
+      return hints_.best(probe, [&](Node* n, int) {
+        return n->key < probe && !n->next.load().marked;
+      });
+    }
+  }
+
+  /// Advertise the covering node, 1 op in 8 (hint_index.hpp caller
+  /// contract: n covered by the caller's guard, observed unmarked
+  /// during this op).
+  void maybe_publish(Handle& h, Node* n) {
+    if (!hints_.enabled()) return;
+    if (n == nullptr || n == head_) return;
+    if ((++h.hint_tick_ & 7u) != 0) return;
+    hints_.publish(n->key, n);
   }
 
   /// Routing walk toward `probe` with adjacency (prev->next == cur at
@@ -478,14 +524,34 @@ class UnrolledFamilyList {
     if constexpr (kHazards) {
       const auto w =
           hazard::anchored_walk<Traversal::kMild, Backoff::kNone, true, Node>(
-              *h.rh_, probe, [&] { return head_; }, [] {},
+              *h.rh_, probe,
+              [&] {
+                Node* g = hint_start(h, probe);
+                if (g == nullptr) return head_;
+                ++h.ctr_.hint_hits;
+                return g;  // validated anchor < probe, kAnchor-covered
+              },
+              [] {},
               [&](Node*, Node* first, Node* last) {
                 retire_run(h, first, last);
-              });
+              },
+              &h.ctr_.restarts);
       return {w.prev, w.cur};
     } else {
+      Node* start = hint_start(h, probe);
+      if (start == nullptr)
+        start = head_;
+      else
+        ++h.ctr_.hint_hits;
       for (;;) {
-        Node* prev = head_;  // the head sentinel is never marked
+        Node* prev = start;
+        if (prev != head_ && prev->next.load().marked) {
+          // The start died since its validation. A marked fat node was
+          // emptied, possibly merged *left* -- the covering node may
+          // now sit behind it, so decay to the head, never walk on.
+          start = head_;
+          continue;
+        }
         Node* left_next = prev->next.load().ptr;
         Node* cur = left_next;
         while (cur != nullptr) {
@@ -505,6 +571,11 @@ class UnrolledFamilyList {
           retire_run(h, left_next, cur);
           return {prev, cur};
         }
+        // Sweep CAS lost: resume from prev (dereference-safe -- arena
+        // addresses are stable, EBR's pin covers the op) while it
+        // lives; the dead-start check above handles the decay.
+        ++h.ctr_.restarts;
+        start = prev;
       }
     }
   }
@@ -512,10 +583,17 @@ class UnrolledFamilyList {
   /// Read-only covering probe for contains: no CAS, no protection
   /// beyond the caller's (arena addresses are stable, EBR's guard
   /// covers the op). Returns the last unmarked node observed with
-  /// anchor < probe.
-  Node* route_weak(long probe) const {
-    Node* prev = head_;
-    Node* cur = head_->next.load().ptr;
+  /// anchor < probe. A hint start is sound here: all candidates are
+  /// observed unmarked during this op with anchor < probe, and the
+  /// walk's endpoint -- the last such node before the probe -- does
+  /// not depend on where below the probe it began.
+  Node* route_weak(Handle& h, long probe) {
+    Node* prev = hint_start(h, probe);
+    if (prev == nullptr || prev->next.load().marked)
+      prev = head_;
+    else
+      ++h.ctr_.hint_hits;
+    Node* cur = prev->next.load().ptr;
     while (cur != nullptr) {
       const auto cv = cur->next.load();
       if (cv.marked) {
@@ -566,6 +644,7 @@ class UnrolledFamilyList {
         Node* n = first;
         while (n != last) {
           Node* next = n->next.load().ptr;
+          hints_.purge(n);  // before the node can leave the live chain
           if (n == leak_victim)
             h.rh_->leak(n);
           else
@@ -672,10 +751,12 @@ class UnrolledFamilyList {
       lock_node(a);
       if (a->next.load().marked) {  // emptied under us; re-route
         unlock_node(a);
+        ++h.ctr_.restarts;
         continue;
       }
       if (ensure_coverage(h, a, key) == Cov::kLost) {
         unlock_node(a);
+        ++h.ctr_.restarts;
         continue;
       }
       const int cnt = a->count.load(std::memory_order_relaxed);
@@ -684,6 +765,7 @@ class UnrolledFamilyList {
         const long c = a->cells[idx].load(std::memory_order_relaxed);
         if (c == key) {
           unlock_node(a);
+          maybe_publish(h, a);  // a stays guard-covered past the unlock
           return false;  // present (live: the node is unmarked)
         }
         if (c > key) break;
@@ -696,6 +778,7 @@ class UnrolledFamilyList {
         a->cells[idx].store(key, std::memory_order_relaxed);
         a->count.store(cnt + 1, std::memory_order_relaxed);
         unlock_node(a);
+        maybe_publish(h, a);
         return true;
       }
       // Split-right: K existing keys + the new one; the lower
@@ -724,6 +807,7 @@ class UnrolledFamilyList {
       a->count.store(kSplitKeep, std::memory_order_relaxed);
       unlock_node(a);
       domain_->track(b);
+      maybe_publish(h, a);  // not b: the fresh sibling is unprotected
       return true;
     }
   }
@@ -739,10 +823,12 @@ class UnrolledFamilyList {
       lock_node(a);
       if (a->next.load().marked) {
         unlock_node(a);
+        ++h.ctr_.restarts;
         continue;
       }
       if (ensure_coverage(h, a, key) == Cov::kLost) {
         unlock_node(a);
+        ++h.ctr_.restarts;
         continue;
       }
       const int cnt = a->count.load(std::memory_order_relaxed);
@@ -781,6 +867,7 @@ class UnrolledFamilyList {
       if (mode == RemoveMode::kNormal && cnt - 1 <= kMergeCount)
         try_merge(h, a);
       unlock_node(a);
+      maybe_publish(h, a);  // still unmarked: it kept >= 1 key
       return true;
     }
   }
@@ -822,17 +909,23 @@ class UnrolledFamilyList {
   /// route's observation instant, so the key was absent then. The
   /// 64-bit version cannot ABA.
   bool contains_plain(Handle& h, long key) {
-    (void)h;
     for (;;) {
-      Node* a = route_weak(key + 1);
+      Node* a = route_weak(h, key + 1);
       if (a == head_) return false;  // no covering node observed
       const NodeView v = read_node(a);
-      if (v.marked) continue;  // emptied under us; re-route
-      if (view_contains(v, key)) return true;
-      Node* a2 = route_weak(key + 1);
+      if (v.marked) {  // emptied under us; re-route
+        ++h.ctr_.restarts;
+        continue;
+      }
+      if (view_contains(v, key)) {
+        maybe_publish(h, a);
+        return true;
+      }
+      Node* a2 = route_weak(h, key + 1);
       if (a2 == a &&
           a->version.load(std::memory_order_acquire) == v.version)
         return false;
+      ++h.ctr_.restarts;
     }
   }
 
@@ -842,26 +935,41 @@ class UnrolledFamilyList {
   /// same-version confirms the miss; the pin keeps the snapshot node
   /// allocated while the second walk runs.
   bool contains_hazard(Handle& h, long key) {
+    auto hinted_start = [&] {
+      Node* g = hint_start(h, key + 1);
+      if (g == nullptr) return head_;
+      ++h.ctr_.hint_hits;
+      return g;  // validated anchor < probe, kAnchor-covered
+    };
     for (;;) {
       const auto w1 =
           hazard::anchored_walk<Traversal::kMild, Backoff::kNone, false,
-                                Node>(*h.rh_, key + 1, [&] { return head_; },
-                                      [] {}, [](Node*, Node*, Node*) {});
+                                Node>(*h.rh_, key + 1, hinted_start, [] {},
+                                      [](Node*, Node*, Node*) {},
+                                      &h.ctr_.restarts);
       Node* a = w1.prev;
       if (a == head_) return false;
       const NodeView v = read_node(a);  // a is kAnchor-protected
-      if (v.marked) continue;
-      if (view_contains(v, key)) return true;
+      if (v.marked) {
+        ++h.ctr_.restarts;
+        continue;
+      }
+      if (view_contains(v, key)) {
+        maybe_publish(h, a);  // kAnchor still covers a
+        return true;
+      }
       hazard::publish_cursor(*h.rh_, this, a);  // gapless: kAnchor live
       const auto w2 =
           hazard::anchored_walk<Traversal::kMild, Backoff::kNone, false,
-                                Node>(*h.rh_, key + 1, [&] { return head_; },
-                                      [] {}, [](Node*, Node*, Node*) {});
+                                Node>(*h.rh_, key + 1, hinted_start, [] {},
+                                      [](Node*, Node*, Node*) {},
+                                      &h.ctr_.restarts);
       const bool confirmed =
           w2.prev == a &&
           a->version.load(std::memory_order_acquire) == v.version;
       hazard::release_cursor(*h.rh_, this);
       if (confirmed) return false;
+      ++h.ctr_.restarts;
     }
   }
 
@@ -899,8 +1007,11 @@ class UnrolledFamilyList {
         if (v.marked) {
           // prev->next == cur was observed directly (we restart at the
           // first marked node, so no run-walking happened); the corpse
-          // has a frozen next, one CAS detaches it.
+          // has a frozen next, one CAS detaches it. Restarts go to the
+          // head -- never a hint: merge-left may have moved this
+          // node's keys *behind* any start below the resume point.
           if (prev->next.cas_clean(cur, v.next)) retire_one(h, cur);
+          ++h.ctr_.restarts;
           restart = true;
           break;
         }
@@ -939,6 +1050,7 @@ class UnrolledFamilyList {
         {
           const auto av = prev->next.load();
           if (av.marked || av.ptr != cur) {
+            ++h.ctr_.restarts;
             restart = true;
             break;
           }
@@ -947,6 +1059,7 @@ class UnrolledFamilyList {
         const NodeView v = read_node(cur);
         if (v.marked) {
           if (prev->next.cas_clean(cur, v.next)) retire_one(h, cur);
+          ++h.ctr_.restarts;
           restart = true;
           break;
         }
@@ -970,6 +1083,7 @@ class UnrolledFamilyList {
 
   std::shared_ptr<Reclaim> domain_;
   Node* head_;
+  HintIndex<Node> hints_;
 };
 
 template <template <typename> class R>
@@ -978,5 +1092,13 @@ using UnrolledK8ListWith = UnrolledFamilyList<8, R>;
 using UnrolledK8List = UnrolledK8ListWith<reclaim::Arena>;
 using UnrolledK8ListEbr = UnrolledK8ListWith<reclaim::Ebr>;
 using UnrolledK8ListHp = UnrolledK8ListWith<reclaim::Hp>;
+
+// iset.hpp matrix, compile-time: fat-node contains never CASes, but
+// the version-confirm re-route means it is not restart-free anywhere.
+static_assert(UnrolledK8List::kContainsCasFree &&
+                  UnrolledK8ListEbr::kContainsCasFree &&
+                  UnrolledK8ListHp::kContainsCasFree &&
+                  !UnrolledK8List::kContainsRestartFree,
+              "unrolled contains: CAS-free, version-confirm re-routes");
 
 }  // namespace pragmalist::core

@@ -51,4 +51,36 @@ using SinglyCursorListHp = SinglyCursorListWith<reclaim::Hp>;
 using SinglyFetchOrListHp = SinglyFetchOrListWith<reclaim::Hp>;
 using DoublyCursorListHp = DoublyCursorListWith<reclaim::Hp>;
 
+// The progress-guarantee matrix of iset.hpp, made compile-time law.
+// Every mild variant's contains is CAS-free under every reclaimer; on
+// arena/EBR it is additionally restart-free -- one forward pass by
+// construction. A change that adds a CAS or a retry loop to those
+// paths must flip the engine's trait and fails right here, instead of
+// showing up as a latency regression three benches later.
+static_assert(SinglyList::kContainsCasFree &&
+                  SinglyListEbr::kContainsCasFree &&
+                  SinglyListHp::kContainsCasFree,
+              "mild singly contains must stay CAS-free");
+static_assert(SinglyList::kContainsRestartFree &&
+                  SinglyListEbr::kContainsRestartFree,
+              "arena/EBR singly contains must stay restart-free");
+static_assert(!SinglyListHp::kContainsRestartFree,
+              "HP contains is bounded-restart, not restart-free");
+static_assert(SinglyCursorList::kContainsRestartFree &&
+                  SinglyFetchOrList::kContainsRestartFree &&
+                  SinglyCursorListEbr::kContainsRestartFree &&
+                  SinglyFetchOrListEbr::kContainsRestartFree,
+              "cursor/fetch-or variants share the mild fast lane");
+static_assert(!DraconicList::kContainsCasFree &&
+                  !DraconicListEbr::kContainsCasFree &&
+                  !DraconicListHp::kContainsCasFree,
+              "draconic readers help unlink: CAS by design");
+static_assert(DoublyList::kContainsCasFree &&
+                  DoublyListEbr::kContainsCasFree &&
+                  DoublyListHp::kContainsCasFree &&
+                  DoublyCursorList::kContainsRestartFree &&
+                  DoublyCursorListEbr::kContainsRestartFree &&
+                  !DoublyCursorListHp::kContainsRestartFree,
+              "doubly family: always mild, restart-free off hazards");
+
 }  // namespace pragmalist::core

@@ -157,19 +157,31 @@ class SetAdapter final : public core::ISet {
 struct Entry {
   std::string_view id;
   std::string_view letter;
-  std::unique_ptr<core::ISet> (*make)(std::string id, alloc::Mode mode);
+  std::unique_ptr<core::ISet> (*make)(std::string id, alloc::Mode mode,
+                                      bool hints);
 };
 
 // Pool-allocating structures (the engines: Engine::kPoolAllocates,
 // surfaced as an alloc::Mode constructor) honor the catalog's node-
 // memory mode; everything else -- baselines, skiplist -- news its own
-// nodes, so the mode is silently irrelevant for them.
+// nodes, so the mode is silently irrelevant for them. The hint-index
+// switch (`/nohint`) is engine-only too, but NOT silently: a baseline
+// has no hint index to disable, so asking for its `/nohint` twin would
+// silently benchmark the baseline against itself -- reject instead.
 template <typename Structure>
-std::unique_ptr<core::ISet> make_adapter(std::string id, alloc::Mode mode) {
-  if constexpr (std::is_constructible_v<Structure, alloc::Mode>)
-    return std::make_unique<SetAdapter<Structure>>(std::move(id), mode);
-  else
-    return std::make_unique<SetAdapter<Structure>>(std::move(id));
+std::unique_ptr<core::ISet> make_adapter(std::string id, alloc::Mode mode,
+                                         bool hints) {
+  if constexpr (std::is_constructible_v<Structure, alloc::Mode, bool>) {
+    return std::make_unique<SetAdapter<Structure>>(std::move(id), mode, hints);
+  } else {
+    PRAGMALIST_CHECK(
+        hints, "'/nohint' needs an engine id: this structure has no hint "
+               "index to disable");
+    if constexpr (std::is_constructible_v<Structure, alloc::Mode>)
+      return std::make_unique<SetAdapter<Structure>>(std::move(id), mode);
+    else
+      return std::make_unique<SetAdapter<Structure>>(std::move(id));
+  }
 }
 
 constexpr Entry kEntries[] = {
@@ -222,16 +234,24 @@ constexpr Entry kEntries[] = {
 struct ShardedEntry {
   std::string_view base;
   std::unique_ptr<core::ISet> (*make)(std::string id, int shards,
-                                      alloc::Mode mode);
+                                      alloc::Mode mode, bool hints);
 };
 
 template <typename Engine>
 std::unique_ptr<core::ISet> make_sharded_adapter(std::string id, int shards,
-                                                 alloc::Mode mode) {
+                                                 alloc::Mode mode,
+                                                 bool hints) {
   // ShardedSet clamps the mode to heap itself when the engine is not
-  // pool-allocating, so passing it unconditionally is safe.
+  // pool-allocating, so passing it unconditionally is safe. The hint
+  // switch is NOT clamped: a base with no hint index (the Michael
+  // baselines) rejects `/nohint` rather than aliasing the hinted id.
+  if constexpr (!std::is_constructible_v<
+                    Engine, std::shared_ptr<typename Engine::Reclaim>, bool>)
+    PRAGMALIST_CHECK(
+        hints, "'/nohint' needs an engine base: this structure has no hint "
+               "index to disable");
   return std::make_unique<SetAdapter<shard::ShardedSet<Engine>>>(
-      std::move(id), shards, mode);
+      std::move(id), shards, mode, hints);
 }
 
 constexpr ShardedEntry kShardedEntries[] = {
@@ -281,11 +301,13 @@ bool split_sharded_id(std::string_view id, std::string_view* base,
 
 std::unique_ptr<core::ISet> make_sharded_set(std::string_view id,
                                              std::string_view base,
-                                             int shards, alloc::Mode mode) {
+                                             int shards, alloc::Mode mode,
+                                             bool hints) {
   PRAGMALIST_CHECK(shards >= 1 && shards <= 1024,
                    "shard count must be in [1, 1024]");
   for (const auto& entry : kShardedEntries)
-    if (entry.base == base) return entry.make(std::string(id), shards, mode);
+    if (entry.base == base)
+      return entry.make(std::string(id), shards, mode, hints);
   std::string msg = "id '" + std::string(id) + "' has a /shN suffix but '" +
                     std::string(base) + "' is not shardable; bases:";
   for (const auto& entry : kShardedEntries) {
@@ -306,12 +328,25 @@ std::unique_ptr<core::ISet> make_set(std::string_view id) {
   for (char& ch : norm) {
     if (ch == '-') ch = '_';
   }
+  // Hint-index switch: a final `/nohint` segment builds the same cell
+  // with the shortcut-hint index disabled (readers always start from
+  // head/cursor) -- the ablation twin the read-path benches and the CI
+  // contains-heavy gate compare against. Outermost suffix, stripped
+  // before `/heap`: `singly/ebr/heap/nohint`. Engine ids only; the
+  // adapters reject it for structures without a hint index.
+  bool hints = true;
+  std::string_view lookup = norm;
+  constexpr std::string_view kNoHintSuffix = "/nohint";
+  if (lookup.size() > kNoHintSuffix.size() &&
+      lookup.substr(lookup.size() - kNoHintSuffix.size()) == kNoHintSuffix) {
+    hints = false;
+    lookup.remove_suffix(kNoHintSuffix.size());
+  }
   // Node-memory mode: catalog ids allocate from per-domain slabs by
   // default; a final `/heap` segment requests the plain-malloc twin
   // (`singly/ebr/heap`, `unrolled_k8/hp/sh4/heap`). Engines only --
   // structures that new their own nodes ignore the mode either way.
   alloc::Mode mode = alloc::Mode::kSlab;
-  std::string_view lookup = norm;
   constexpr std::string_view kHeapSuffix = "/heap";
   if (lookup.size() > kHeapSuffix.size() &&
       lookup.substr(lookup.size() - kHeapSuffix.size()) == kHeapSuffix) {
@@ -322,18 +357,19 @@ std::unique_ptr<core::ISet> make_set(std::string_view id) {
     std::string_view base;
     int shards = 0;
     if (split_sharded_id(lookup, &base, &shards))
-      return make_sharded_set(id, base, shards, mode);
+      return make_sharded_set(id, base, shards, mode, hints);
   }
   for (const auto& entry : kEntries)
-    if (entry.id == lookup) return entry.make(std::string(id), mode);
+    if (entry.id == lookup) return entry.make(std::string(id), mode, hints);
   std::string msg = "unknown variant '" + std::string(id) + "'; known:";
   for (const auto& entry : kEntries) {
     msg += ' ';
     msg += entry.id;
   }
   msg +=
-      " (plus any shardable id with a /shN suffix, e.g. singly/ebr/sh8, and"
-      " a trailing /heap for the malloc twin of any engine id)";
+      " (plus any shardable id with a /shN suffix, e.g. singly/ebr/sh8, a"
+      " trailing /heap for the malloc twin of any engine id, and a trailing"
+      " /nohint for an engine's hint-index-disabled twin)";
   PRAGMALIST_CHECK(false, msg.c_str());
   __builtin_unreachable();
 }

@@ -59,7 +59,8 @@ void print_latency_table(std::ostream& os, const std::string& title,
      << std::setw(10) << "class" << std::right << std::setw(10) << "count"
      << std::setw(11) << "p50(us)" << std::setw(11) << "p90(us)"
      << std::setw(11) << "p99(us)" << std::setw(11) << "p999(us)"
-     << std::setw(11) << "max(us)" << "\n";
+     << std::setw(11) << "max(us)" << std::setw(11) << "Kops/s"
+     << std::setw(11) << "hints" << std::setw(10) << "restarts" << "\n";
   for (const auto& row : rows) {
     for (int c = 0; c < kNumOpClasses; ++c) {
       const auto cls = static_cast<OpClass>(c);
@@ -71,13 +72,16 @@ void print_latency_table(std::ostream& os, const std::string& title,
          << std::setw(11) << us(h.percentile(0.50)) << std::setw(11)
          << us(h.percentile(0.90)) << std::setw(11)
          << us(h.percentile(0.99)) << std::setw(11)
-         << us(h.percentile(0.999)) << std::setw(11) << us(h.max()) << "\n";
+         << us(h.percentile(0.999)) << std::setw(11) << us(h.max())
+         << std::setw(11) << row.kops << std::setw(11) << row.hint_hits
+         << std::setw(10) << row.restarts << "\n";
     }
   }
 }
 
 void write_latency_csv(std::ostream& os, const std::vector<LatencyRow>& rows) {
-  os << "id,class,count,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n";
+  os << "id,class,count,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,kops_per_sec,"
+        "hint_hits,restarts\n";
   for (const auto& row : rows) {
     for (int c = 0; c < kNumOpClasses; ++c) {
       const auto cls = static_cast<OpClass>(c);
@@ -86,7 +90,8 @@ void write_latency_csv(std::ostream& os, const std::vector<LatencyRow>& rows) {
       os << row.label << ',' << op_class_name(cls) << ',' << h.count() << ','
          << h.percentile(0.50) << ',' << h.percentile(0.90) << ','
          << h.percentile(0.99) << ',' << h.percentile(0.999) << ','
-         << h.max() << "\n";
+         << h.max() << ',' << row.kops << ',' << row.hint_hits << ','
+         << row.restarts << "\n";
     }
   }
 }

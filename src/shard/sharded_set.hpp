@@ -230,14 +230,26 @@ class ShardedSet {
   };
 
   explicit ShardedSet(int shards,
-                      alloc::Mode mode = alloc::Mode::kHeap)
+                      alloc::Mode mode = alloc::Mode::kHeap,
+                      bool hints = true)
       : domain_(std::make_shared<Reclaim>(
             detail::PoolAllocates<Engine>::value ? mode
                                                  : alloc::Mode::kHeap)) {
     PRAGMALIST_CHECK(shards >= 1, "ShardedSet needs at least one shard");
     shards_.reserve(static_cast<std::size_t>(shards));
-    for (int i = 0; i < shards; ++i)
-      shards_.push_back(std::make_unique<Engine>(domain_));
+    for (int i = 0; i < shards; ++i) {
+      // Engines take a per-shard hint-index switch; baselines without
+      // one (the Michael lists) only accept the shared domain. The
+      // catalog rejects `/nohint` for those before we get here.
+      if constexpr (std::is_constructible_v<Engine, std::shared_ptr<Reclaim>,
+                                            bool>) {
+        shards_.push_back(std::make_unique<Engine>(domain_, hints));
+      } else {
+        PRAGMALIST_CHECK(hints,
+                         "this engine has no hint index to disable");
+        shards_.push_back(std::make_unique<Engine>(domain_));
+      }
+    }
     shard_ops_ =
         std::make_unique<std::atomic<long>[]>(static_cast<std::size_t>(shards));
     for (int i = 0; i < shards; ++i)

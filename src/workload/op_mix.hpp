@@ -47,5 +47,10 @@ struct ScanWidths {
 inline constexpr OpMix kTableMix{10, 10, 80, 0};
 /// Figures 1-3 mix: update heavy.
 inline constexpr OpMix kScalingMix{25, 25, 50, 0};
+/// Contains-heavy fast-lane mix (`--mix reads` in the read benches):
+/// just enough churn to keep hints/cursors going stale, the rest
+/// contains -- the workload the hint index and the CAS-free read walk
+/// are priced on.
+inline constexpr OpMix kReadMostlyMix{3, 3, 94, 0};
 
 }  // namespace pragmalist::workload

@@ -4,6 +4,7 @@
 // every catalog structure to empty.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -117,6 +118,87 @@ TEST_P(EveryVariant, DeterministicDriverDrainsTheSet) {
     EXPECT_EQ(r.agg.adds, r.agg.rems);
     EXPECT_EQ(r.total_ops, kThreads * 2L * 300);
   }
+}
+
+// --- starvation tier -------------------------------------------------
+//
+// One reader versus writer saturation: the writers hammer add/remove
+// for the whole run, and the reader must still complete a FIXED number
+// of contains calls -- not "eventually", but with a restart budget
+// proportional to its own op count. This is the progress-guarantee
+// matrix of iset.hpp made operational: restart-free cells must report
+// zero reader restarts; bounded-restart (HP) and version-confirm
+// (unrolled) cells must stay under a linear budget, never livelock.
+struct StarvationCase {
+  std::string_view id;
+  bool reader_restart_free;  // kContainsRestartFree for this cell
+};
+
+class ReaderVsWriterSaturation
+    : public ::testing::TestWithParam<StarvationCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ReclaimGrid, ReaderVsWriterSaturation,
+    ::testing::Values(StarvationCase{"singly", true},
+                      StarvationCase{"singly/ebr", true},
+                      StarvationCase{"singly/hp", false},
+                      StarvationCase{"doubly_cursor", true},
+                      StarvationCase{"doubly_cursor/ebr", true},
+                      StarvationCase{"doubly_cursor/hp", false},
+                      StarvationCase{"unrolled_k8/ebr", false},
+                      StarvationCase{"unrolled_k8/hp", false},
+                      StarvationCase{"singly/ebr/nohint", true}),
+    [](const ::testing::TestParamInfo<StarvationCase>& info) {
+      std::string name(info.param.id);
+      for (char& c : name)
+        if (c == '/') c = '_';
+      return name;
+    });
+
+TEST_P(ReaderVsWriterSaturation, ReaderCompletesUnderABoundedBudget) {
+  const StarvationCase cs = GetParam();
+  auto set = harness::make_set(cs.id);
+  constexpr long kUniverse = 256;
+  constexpr long kReaderOps = 3000;
+  {  // survivors the reader can actually hit
+    auto h = set->make_handle();
+    for (long k = 0; k < kUniverse; k += 2) ASSERT_TRUE(h->add(k));
+  }
+  std::atomic<bool> stop{false};
+  core::OpCounters reader;
+  harness::run_team(
+      kThreads,
+      [&](int t) {
+        auto h = set->make_handle();
+        workload::Rng rng(workload::thread_seed(1234, t));
+        if (t == 0) {
+          for (long i = 0; i < kReaderOps; ++i)
+            h->contains(static_cast<long>(rng.below(kUniverse)));
+          reader = h->counters();
+          stop.store(true, std::memory_order_relaxed);
+        } else {
+          // Saturating churn on the odd keys: the evens stay put so
+          // the reader's walks cross an always-hot interleaving of
+          // marked/unlinked nodes.
+          while (!stop.load(std::memory_order_relaxed)) {
+            const long k =
+                static_cast<long>(rng.below(kUniverse / 2)) * 2 + 1;
+            h->add(k);
+            h->remove(k);
+          }
+        }
+      },
+      /*pin=*/false);
+
+  std::string err;
+  ASSERT_TRUE(set->validate(&err)) << err;
+  EXPECT_EQ(reader.con_calls, kReaderOps);
+  if (cs.reader_restart_free)
+    EXPECT_EQ(reader.restarts, 0)
+        << cs.id << ": a restart-free contains cell restarted";
+  else
+    EXPECT_LE(reader.restarts, kReaderOps * 16 + 4096)
+        << cs.id << ": reader restarts blew the linear budget";
 }
 
 // The random-mix driver's ledger must balance for the six paper

@@ -357,6 +357,31 @@ TEST(Drivers, RecordingDoesNotPerturbTheWorkload) {
   EXPECT_EQ(with.scans, without.scans);
 }
 
+// Read-path progress ledger through the driver: the hint index must
+// actually fire on a contains-heavy mix (hint_hits > 0), the /nohint
+// twin must never report a hit, and restarts must stay proportional to
+// ops (bounded retries, per the iset.hpp progress matrix) -- the
+// hazard engines revalidate anchors but never livelock.
+TEST(Drivers, ReadPathProgressCountersAreBudgeted) {
+  const workload::OpMix reads = workload::kReadMostlyMix;
+  auto run = [&](std::string_view id) {
+    auto set = harness::make_set(id);
+    const auto r = harness::run_random_mix(*set, /*p=*/4, /*c=*/3000,
+                                           /*prefill=*/500, /*universe=*/4096,
+                                           reads, /*seed=*/17, /*pin=*/false);
+    std::string err;
+    EXPECT_TRUE(set->validate(&err)) << err;
+    return r;
+  };
+  for (const std::string_view id : {"singly", "singly/ebr", "singly/hp"}) {
+    const auto r = run(id);
+    EXPECT_GT(r.agg.hint_hits, 0) << id;
+    EXPECT_LE(r.agg.restarts, r.total_ops * 16 + 4096) << id;
+  }
+  const auto nohint = run("singly/ebr/nohint");
+  EXPECT_EQ(nohint.agg.hint_hits, 0);
+}
+
 TEST(Drivers, FixedRateRecordsEveryOpAndReportsBacklog) {
   if (!harness::kLatencyCompiled) GTEST_SKIP() << "latency compiled out";
   auto set = harness::make_set("singly/ebr");
