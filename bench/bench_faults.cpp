@@ -15,7 +15,7 @@
 //
 //   bench_faults [--ids ID,ID,...] [--reclaim arena,ebr,hp]
 //                [--shards N,N,...] [--faults N] [--reps R]
-//                [--duration SECONDS-PER-RUN] [--tick-ms MS]
+//                [--duration PER-RUN (5s/500ms/2m; bare = s)] [--tick-ms MS]
 //                [--max-threads P] [--u UNIVERSE] [--prefill F]
 //                [--seed S] [--reap-delay TICKS] [--no-pin]
 //
@@ -81,8 +81,8 @@ int main(int argc, char** argv) {
   cfg.schedule = service::SoakSchedule::kSteady;
   cfg.tick_ms = opt.get_int("tick-ms", 100);
   if (cfg.tick_ms < 1) cfg.tick_ms = 1;
-  const int duration_s = opt.get_int("duration", 2);
-  cfg.ticks = std::max(duration_s * 1000 / cfg.tick_ms, 1);
+  const long duration_ms = opt.get_duration_ms("duration", 2000);
+  cfg.ticks = std::max(static_cast<int>(duration_ms / cfg.tick_ms), 1);
   cfg.max_threads =
       opt.get_int("max-threads", bench::default_threads(opt, 16));
   cfg.universe = opt.get_long("u", 1024);
@@ -112,25 +112,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> domains = opt.get_string_list("reclaim", {});
   if (domains.empty()) domains = {"arena", "ebr", "hp"};
 
-  struct Cell {
-    std::string id;       // catalog id of the faulted run
-    std::string base;
-    std::string domain;
-    int shards;
-  };
-  std::vector<Cell> cells;
-  for (const long n : opt.get_longs("shards", {1, 8})) {
-    if (n < 1) continue;
-    for (const auto& base : bases)
-      for (const auto& domain : domains) {
-        std::string id = domain == "arena" ? base : base + "/" + domain;
-        if (n != 1) id += "/sh" + std::to_string(n);
-        cells.push_back({id, base, domain, static_cast<int>(n)});
-      }
-  }
+  const std::vector<bench::GridCell> cells = bench::expand_grid(
+      bases, domains, opt.get_longs("shards", {1, 8}));
 
   std::cout << "Fault-injection soak, steady p=" << cfg.max_threads << ", "
-            << duration_s << " s/run (" << cfg.ticks << " ticks x "
+            << duration_ms / 1000.0 << " s/run (" << cfg.ticks << " ticks x "
             << cfg.tick_ms << " ms), u=" << cfg.universe << ", " << n_faults
             << " faults (";
   for (int i = 0; i < faults::kNumFaultKinds; ++i)
@@ -231,7 +217,7 @@ int main(int argc, char** argv) {
               << (res.recovered ? "yes" : "NO") << "\n";
 
     if (csv) {
-      csv << cell.id << "," << cell.base << "," << cell.domain << ","
+      csv << cell.id << "," << cell.variant << "," << cell.reclaimer << ","
           << cell.shards << "," << reps << ","
           << harness::summary_csv_fields(res.kops, 1) << ","
           << harness::summary_csv_fields(res.recovery, 2) << ",";

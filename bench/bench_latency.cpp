@@ -66,24 +66,10 @@ int main(int argc, char** argv) {
   // --variants takes paper row letters or ids, default rows b and f
   // (the pragmatic baseline and the paper's best all-round variant);
   // `all` adds the unrolled fat-node family.
-  std::vector<std::string_view> variants;
-  {
-    std::vector<std::string_view> candidates(harness::paper_variant_ids());
-    candidates.push_back("unrolled_k8");
-    const std::vector<std::string> tokens =
-        opt.get_string_list("variants", {"b", "f"});
-    const bool all = tokens.size() == 1 && tokens.front() == "all";
-    for (const std::string_view id : candidates) {
-      bool wanted = all;
-      for (const auto& tok : tokens)
-        wanted |= tok == id || tok == harness::variant_letter(id);
-      if (wanted) variants.push_back(id);
-    }
-    PRAGMALIST_CHECK(!variants.empty(),
-                     "--variants matched none of the rows a-f/unrolled_k8");
-  }
+  const std::vector<std::string> variants =
+      bench::select_variants(opt, {"b", "f"});
   const std::vector<long> shard_counts = opt.get_longs("shards", {1, 4});
-  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
+  const std::vector<std::string> reclaimers = {"arena", "ebr", "hp"};
 
   std::cout << "Latency grid, p=" << p << ", c=" << c << ", u=" << universe
             << ", mix " << mix.add_pct << "/" << mix.rem_pct << "/"
@@ -98,59 +84,47 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
 
   std::vector<harness::LatencyRow> rows;
-  for (const auto v : variants) {
-    for (const auto r : reclaimers) {
-      const std::string base =
-          r == "arena" ? std::string(v)
-                       : std::string(v) + "/" + std::string(r);
-      for (const long n : shard_counts) {
-        if (n < 1) continue;
-        // Slab cell plus its /heap malloc twin (allocator cost is a
-        // tail story too: a slab refill vs a malloc slow path) plus
-        // its /nohint twin -- same cell, shortcut-hint index disabled,
-        // pricing what the hints buy on this mix.
-        for (const std::string_view mem : {"", "/heap", "/nohint"}) {
-          const std::string id =
-              (n == 1 ? base : base + "/sh" + std::to_string(n)) +
-              std::string(mem);
-          auto set = harness::make_set(id);
-          harness::LatencyProfile lat;
-          long behind = 0;
-          harness::RunResult res;
-          if (rate > 0.0)
-            res = harness::run_fixed_rate(
-                *set, p, c, /*prefill=*/1000, universe, mix, seed, pin, rate,
-                lat, &behind, harness::KeyDist::uniform(), widths);
-          else
-            res = harness::run_random_mix(*set, p, c, /*prefill=*/1000,
-                                          universe, mix, seed, pin,
-                                          harness::KeyDist::uniform(), widths,
-                                          &lat);
-          bench::check_valid(*set);
-          PRAGMALIST_CHECK(
-              static_cast<long>(set->size()) == 1000 + res.agg.adds -
-                  res.agg.rems,
-              "population ledger does not balance after the run");
-          // Self-check the percentile ordering on every non-empty
-          // class; the CI smoke re-asserts this from the CSV.
-          for (int cls = 0; cls < harness::kNumOpClasses; ++cls) {
-            const auto& h = lat.of(static_cast<harness::OpClass>(cls));
-            if (h.count() == 0) continue;
-            PRAGMALIST_CHECK(h.percentile(0.50) <= h.percentile(0.99) &&
-                                 h.percentile(0.99) <= h.percentile(0.999) &&
-                                 h.percentile(0.999) <= h.max(),
-                             "percentiles are not monotone");
-          }
-          std::string label = id;
-          if (rate > 0.0) label += ":rate";
-          rows.push_back({std::move(label), lat, res.kops_per_sec(),
-                          res.agg.hint_hits, res.agg.restarts});
-          if (rate > 0.0 && behind > 0)
-            std::cout << "(" << id << ": " << behind << " of "
-                      << res.total_ops << " ops started >= 1 period late)\n";
-        }
-      }
+  // Slab cell plus its /heap malloc twin (allocator cost is a tail
+  // story too: a slab refill vs a malloc slow path) plus its /nohint
+  // twin -- same cell, shortcut-hint index disabled, pricing what the
+  // hints buy on this mix.
+  for (const auto& g : bench::expand_grid(variants, reclaimers, shard_counts,
+                                          {"", "/heap", "/nohint"})) {
+    auto set = harness::make_set(g.id);
+    harness::LatencyProfile lat;
+    long behind = 0;
+    harness::RunResult res;
+    if (rate > 0.0)
+      res = harness::run_fixed_rate(
+          *set, p, c, /*prefill=*/1000, universe, mix, seed, pin, rate,
+          lat, &behind, harness::KeyDist::uniform(), widths);
+    else
+      res = harness::run_random_mix(*set, p, c, /*prefill=*/1000,
+                                    universe, mix, seed, pin,
+                                    harness::KeyDist::uniform(), widths,
+                                    &lat);
+    bench::check_valid(*set);
+    PRAGMALIST_CHECK(
+        static_cast<long>(set->size()) == 1000 + res.agg.adds -
+            res.agg.rems,
+        "population ledger does not balance after the run");
+    // Self-check the percentile ordering on every non-empty
+    // class; the CI smoke re-asserts this from the CSV.
+    for (int cls = 0; cls < harness::kNumOpClasses; ++cls) {
+      const auto& h = lat.of(static_cast<harness::OpClass>(cls));
+      if (h.count() == 0) continue;
+      PRAGMALIST_CHECK(h.percentile(0.50) <= h.percentile(0.99) &&
+                           h.percentile(0.99) <= h.percentile(0.999) &&
+                           h.percentile(0.999) <= h.max(),
+                       "percentiles are not monotone");
     }
+    std::string label = g.id;
+    if (rate > 0.0) label += ":rate";
+    rows.push_back({std::move(label), lat, res.kops_per_sec(),
+                    res.agg.hint_hits, res.agg.restarts});
+    if (rate > 0.0 && behind > 0)
+      std::cout << "(" << g.id << ": " << behind << " of "
+                << res.total_ops << " ops started >= 1 period late)\n";
   }
 
   harness::print_latency_table(

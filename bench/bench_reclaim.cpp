@@ -75,23 +75,9 @@ int main(int argc, char** argv) {
 
   // --variants takes paper row letters (a,c,e) or ids; default is all
   // six paper rows plus the unrolled fat-node family.
-  std::vector<std::string_view> variants;
-  {
-    std::vector<std::string_view> candidates(harness::paper_variant_ids());
-    candidates.push_back("unrolled_k8");
-    const std::vector<std::string> tokens =
-        opt.get_string_list("variants", {"all"});
-    const bool all = tokens.size() == 1 && tokens.front() == "all";
-    for (const std::string_view id : candidates) {
-      bool wanted = all;
-      for (const auto& tok : tokens)
-        wanted |= tok == id || tok == harness::variant_letter(id);
-      if (wanted) variants.push_back(id);
-    }
-    PRAGMALIST_CHECK(!variants.empty(),
-                     "--variants matched none of the rows a-f/unrolled_k8");
-  }
-  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
+  const std::vector<std::string> variants =
+      bench::select_variants(opt, {"all"});
+  const std::vector<std::string> reclaimers = {"arena", "ebr", "hp"};
 
   auto run_one = [&](std::string_view id) {
     auto set = harness::make_set(id);
@@ -112,27 +98,22 @@ int main(int argc, char** argv) {
             << ", u=" << universe
             << " (kops/s; fp = nodes still allocated after the run)\n\n";
   std::cout << std::left << std::setw(28) << "variant";
-  for (const auto r : reclaimers)
+  for (const auto& r : reclaimers)
     std::cout << std::right << std::setw(12) << r << std::setw(10) << "fp";
   std::cout << "\n";
 
   std::vector<harness::TableRow> csv_rows;
   std::vector<harness::LatencyRow> lat_rows;
-  for (const auto v : variants) {
+  for (const auto& v : variants) {
     for (const std::string_view mem : {"", "/heap"}) {
       std::cout << std::left << std::setw(28)
                 << bench::row_label(v) + std::string(mem);
-      for (const auto r : reclaimers) {
-        const std::string id = (r == "arena" ? std::string(v)
-                                             : std::string(v) + "/" +
-                                                   std::string(r)) +
-                               std::string(mem);
-        const Cell cell = run_one(id);
+      for (const auto& r : reclaimers) {
+        const Cell cell = run_one(bench::grid_id(v, r, 1, mem));
         std::cout << std::right << std::setw(12) << std::fixed
                   << std::setprecision(0) << cell.result.kops_per_sec()
                   << std::setw(10) << cell.footprint;
-        const std::string label =
-            std::string(v) + "/" + std::string(r) + std::string(mem);
+        const std::string label = v + "/" + r + std::string(mem);
         if (latency)
           lat_rows.push_back({label, cell.latency,
                               cell.result.kops_per_sec(),
@@ -180,45 +161,34 @@ int main(int argc, char** argv) {
               << std::setw(6) << "sh" << std::setw(12) << "kops/s"
               << std::setw(10) << "fp" << std::setw(10) << "limbo"
               << "\n";
-    for (const auto v : variants) {
-      for (const auto r : {std::string_view("ebr"), std::string_view("hp")}) {
-        const std::string base = std::string(v) + "/" + std::string(r);
-        for (const long n : shard_counts) {
-          if (n < 1) continue;
-          for (const std::string_view mem : {"", "/heap"}) {
-            const std::string id =
-                (n == 1 ? base : base + "/sh" + std::to_string(n)) +
-                std::string(mem);
-            auto set = harness::make_set(id);
-            harness::LatencyProfile lat;
-            harness::RunResult res = harness::run_random_mix(
-                *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist, {},
-                latency ? &lat : nullptr);
-            bench::check_valid(*set);
-            std::cout << std::left << std::setw(26)
-                      << base + std::string(mem) << std::right << std::setw(6)
-                      << n << std::setw(12) << std::fixed
-                      << std::setprecision(0) << res.kops_per_sec()
-                      << std::setw(10) << set->allocated_nodes()
-                      << std::setw(10) << set->limbo_nodes() << "\n";
-            const std::string load = harness::shard_load_line(*set);
-            if (!load.empty()) std::cout << "      " << load << "\n";
-            // CSV label always carries the shard count (the n==1 leg
-            // runs the bare id but must not collide with view 1's row)
-            // and the key distribution when it is not the default; the
-            // heap twin keeps its /heap suffix last, mirroring the
-            // catalog id grammar.
-            std::string csv_label =
-                base + "/sh" + std::to_string(n) + std::string(mem);
-            if (dist.kind == harness::KeyDist::Kind::kZipf)
-              csv_label += ":zipf";
-            if (latency)
-              lat_rows.push_back({csv_label, lat, res.kops_per_sec(),
-                                  res.agg.hint_hits, res.agg.restarts});
-            csv_rows.push_back({std::move(csv_label), res});
-          }
-        }
-      }
+    for (const auto& cell : bench::expand_grid(variants, {"ebr", "hp"},
+                                                shard_counts,
+                                                {"", "/heap"})) {
+      const std::string base = cell.variant + "/" + cell.reclaimer;
+      auto set = harness::make_set(cell.id);
+      harness::LatencyProfile lat;
+      harness::RunResult res = harness::run_random_mix(
+          *set, p, c, /*f=*/1000, universe, mix, seed, pin, dist, {},
+          latency ? &lat : nullptr);
+      bench::check_valid(*set);
+      std::cout << std::left << std::setw(26) << base + cell.suffix
+                << std::right << std::setw(6) << cell.shards << std::setw(12)
+                << std::fixed << std::setprecision(0) << res.kops_per_sec()
+                << std::setw(10) << set->allocated_nodes() << std::setw(10)
+                << set->limbo_nodes() << "\n";
+      const std::string load = harness::shard_load_line(*set);
+      if (!load.empty()) std::cout << "      " << load << "\n";
+      // CSV label always carries the shard count (the n==1 leg runs
+      // the bare id but must not collide with view 1's row) and the
+      // key distribution when it is not the default; the heap twin
+      // keeps its /heap suffix last, mirroring the catalog id grammar.
+      std::string csv_label =
+          base + "/sh" + std::to_string(cell.shards) + cell.suffix;
+      if (dist.kind == harness::KeyDist::Kind::kZipf) csv_label += ":zipf";
+      if (latency)
+        lat_rows.push_back({csv_label, lat, res.kops_per_sec(),
+                            res.agg.hint_hits, res.agg.restarts});
+      csv_rows.push_back({std::move(csv_label), res});
     }
   }
 

@@ -95,24 +95,10 @@ int main(int argc, char** argv) {
   // (the pragmatic baseline and the paper's best all-round variant);
   // `all` adds the unrolled fat-node family, whose per-node key runs
   // make scans mostly sequential reads.
-  std::vector<std::string_view> variants;
-  {
-    std::vector<std::string_view> candidates(harness::paper_variant_ids());
-    candidates.push_back("unrolled_k8");
-    const std::vector<std::string> tokens =
-        opt.get_string_list("variants", {"b", "f"});
-    const bool all = tokens.size() == 1 && tokens.front() == "all";
-    for (const std::string_view id : candidates) {
-      bool wanted = all;
-      for (const auto& tok : tokens)
-        wanted |= tok == id || tok == harness::variant_letter(id);
-      if (wanted) variants.push_back(id);
-    }
-    PRAGMALIST_CHECK(!variants.empty(),
-                     "--variants matched none of the rows a-f/unrolled_k8");
-  }
+  const std::vector<std::string> variants =
+      bench::select_variants(opt, {"b", "f"});
   const std::vector<long> shard_counts = opt.get_longs("shards", {1, 4});
-  const std::vector<std::string_view> reclaimers = {"arena", "ebr", "hp"};
+  const std::vector<std::string> reclaimers = {"arena", "ebr", "hp"};
 
   auto run_one = [&](const std::string& id, const workload::OpMix& mix) {
     auto set = harness::make_set(id);
@@ -145,53 +131,38 @@ int main(int argc, char** argv) {
 
   std::vector<harness::TableRow> csv_rows;
   std::vector<harness::LatencyRow> lat_rows;
-  for (const auto v : variants) {
-    for (const auto r : reclaimers) {
-      const std::string base =
-          r == "arena" ? std::string(v)
-                       : std::string(v) + "/" + std::string(r);
-      for (const long n : shard_counts) {
-        if (n < 1) continue;
-        // Slab row plus its /heap malloc twin, like bench_reclaim.
-        for (const std::string_view mem : {"", "/heap"}) {
-          const std::string id =
-              (n == 1 ? base : base + "/sh" + std::to_string(n)) +
-              std::string(mem);
-          for (const auto& row : mixes) {
-            const Cell cell = run_one(id, row.mix);
-            const double keys_per_scan =
-                cell.result.agg.scan_calls > 0
-                    ? static_cast<double>(cell.result.agg.scans) /
-                          static_cast<double>(cell.result.agg.scan_calls)
-                    : 0.0;
-            std::cout << std::left << std::setw(26)
-                      << (std::string(v) + "/" + std::string(r) +
-                          std::string(mem))
-                      << std::right << std::setw(6) << n << std::setw(7)
-                      << row.name << std::setw(11) << std::fixed
-                      << std::setprecision(0) << cell.result.kops_per_sec()
-                      << std::setw(10) << std::setprecision(1)
-                      << keys_per_scan << std::setw(10) << cell.footprint
-                      << std::setw(10) << cell.limbo;
-            const std::string label = std::string(v) + "/" + std::string(r) +
-                                      "/sh" + std::to_string(n) +
-                                      std::string(mem) + ":" + row.name;
-            if (latency) {
-              const harness::LatHistogram all = cell.latency.merged();
-              std::cout << std::setw(9) << std::setprecision(1)
-                        << static_cast<double>(all.percentile(0.99)) / 1e3
-                        << std::setw(9)
-                        << static_cast<double>(all.percentile(0.999)) / 1e3;
-              lat_rows.push_back({label, cell.latency,
-                                  cell.result.kops_per_sec(),
-                                  cell.result.agg.hint_hits,
-                                  cell.result.agg.restarts});
-            }
-            std::cout << "\n";
-            csv_rows.push_back({label, cell.result});
-          }
-        }
+  // Slab row plus its /heap malloc twin, like bench_reclaim.
+  for (const auto& g :
+       bench::expand_grid(variants, reclaimers, shard_counts, {"", "/heap"})) {
+    for (const auto& row : mixes) {
+      const Cell cell = run_one(g.id, row.mix);
+      const double keys_per_scan =
+          cell.result.agg.scan_calls > 0
+              ? static_cast<double>(cell.result.agg.scans) /
+                    static_cast<double>(cell.result.agg.scan_calls)
+              : 0.0;
+      std::cout << std::left << std::setw(26)
+                << (g.variant + "/" + g.reclaimer + g.suffix) << std::right
+                << std::setw(6) << g.shards << std::setw(7) << row.name
+                << std::setw(11) << std::fixed << std::setprecision(0)
+                << cell.result.kops_per_sec() << std::setw(10)
+                << std::setprecision(1) << keys_per_scan << std::setw(10)
+                << cell.footprint << std::setw(10) << cell.limbo;
+      const std::string label = g.variant + "/" + g.reclaimer + "/sh" +
+                                std::to_string(g.shards) + g.suffix + ":" +
+                                row.name;
+      if (latency) {
+        const harness::LatHistogram all = cell.latency.merged();
+        std::cout << std::setw(9) << std::setprecision(1)
+                  << static_cast<double>(all.percentile(0.99)) / 1e3
+                  << std::setw(9)
+                  << static_cast<double>(all.percentile(0.999)) / 1e3;
+        lat_rows.push_back({label, cell.latency, cell.result.kops_per_sec(),
+                            cell.result.agg.hint_hits,
+                            cell.result.agg.restarts});
       }
+      std::cout << "\n";
+      csv_rows.push_back({label, cell.result});
     }
   }
 

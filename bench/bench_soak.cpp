@@ -9,7 +9,7 @@
 // this bench is about the reclaimers surviving membership churn.
 //
 //   bench_soak [--threads-schedule ramp|steady|burst|waves|stragglers]
-//              [--duration SECONDS-PER-ID] [--tick-ms MS]
+//              [--duration PER-ID (5s/500ms/2m; bare = s)] [--tick-ms MS]
 //              [--max-threads P] [--u UNIVERSE] [--prefill F]
 //              [--seed S] [--ids all|ID,ID,...] [--no-pin] [--series]
 //              [--shards N,N,...] [--zipf-theta T]
@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
       opt.get_string("threads-schedule", "ramp"));
   cfg.tick_ms = opt.get_int("tick-ms", 100);
   if (cfg.tick_ms < 1) cfg.tick_ms = 1;
-  const int duration_s = opt.get_int("duration", 5);
-  cfg.ticks = duration_s * 1000 / cfg.tick_ms;
+  const long duration_ms = opt.get_duration_ms("duration", 5000);
+  cfg.ticks = static_cast<int>(duration_ms / cfg.tick_ms);
   if (cfg.ticks < 1) cfg.ticks = 1;
   cfg.max_threads =
       opt.get_int("max-threads", bench::default_threads(opt, 16));
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Soak grid, schedule=" << soak_schedule_name(cfg.schedule)
-            << ", " << duration_s << " s/id (" << cfg.ticks << " ticks x "
+            << ", " << duration_ms / 1000.0 << " s/id (" << cfg.ticks << " ticks x "
             << cfg.tick_ms << " ms), max p=" << cfg.max_threads
             << ", u=" << cfg.universe << ", mix " << cfg.mix.add_pct << "/"
             << cfg.mix.rem_pct << "/" << cfg.mix.con_pct;

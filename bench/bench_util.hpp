@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/affinity.hpp"
@@ -71,6 +72,74 @@ inline workload::ScanWidths scan_widths(const harness::Options& opt,
 /// numbers (no clock reads in the op loop).
 inline bool latency_enabled(const harness::Options& opt) {
   return harness::kLatencyCompiled && !opt.get_bool("no-latency");
+}
+
+/// The shared --variants selection: paper row letters (a,c,e), full
+/// ids, or "all"; candidates are the six paper rows plus the unrolled
+/// fat-node family. Aborts when nothing matched (a typo must not
+/// silently shrink a bench to zero rows).
+inline std::vector<std::string> select_variants(
+    const harness::Options& opt, const std::vector<std::string>& def) {
+  std::vector<std::string_view> candidates(harness::paper_variant_ids());
+  candidates.push_back("unrolled_k8");
+  const std::vector<std::string> tokens =
+      opt.get_string_list("variants", def);
+  const bool all = tokens.size() == 1 && tokens.front() == "all";
+  std::vector<std::string> variants;
+  for (const std::string_view id : candidates) {
+    bool wanted = all;
+    for (const auto& tok : tokens)
+      wanted |= tok == id || tok == harness::variant_letter(id);
+    if (wanted) variants.emplace_back(id);
+  }
+  PRAGMALIST_CHECK(!variants.empty(),
+                   "--variants matched none of the rows a-f/unrolled_k8");
+  return variants;
+}
+
+/// Catalog id of one grid cell, per the id grammar: arena keeps the
+/// bare variant, `/shN` is omitted at one shard, and the memory/hint
+/// suffix ("", "/heap", "/nohint") comes last.
+inline std::string grid_id(std::string_view variant,
+                           std::string_view reclaimer, long shards,
+                           std::string_view suffix = "") {
+  std::string id(variant);
+  if (!reclaimer.empty() && reclaimer != "arena") {
+    id += '/';
+    id += reclaimer;
+  }
+  if (shards > 1) id += "/sh" + std::to_string(shards);
+  id += suffix;
+  return id;
+}
+
+/// One cell of the variant x reclaimer x shards (x suffix) grid.
+struct GridCell {
+  std::string id;  // catalog id (grid_id of the coordinates below)
+  std::string variant;
+  std::string reclaimer;
+  long shards = 1;
+  std::string suffix;
+};
+
+/// Row-major expansion (variant -> reclaimer -> shards -> suffix) of
+/// the grid every reclaim-aware bench sweeps; shard counts < 1 are
+/// skipped. The one copy of the loop nest that used to be duplicated
+/// across bench_reclaim/bench_scan/bench_latency/bench_faults.
+inline std::vector<GridCell> expand_grid(
+    const std::vector<std::string>& variants,
+    const std::vector<std::string>& reclaimers,
+    const std::vector<long>& shard_counts,
+    const std::vector<std::string>& suffixes = {""}) {
+  std::vector<GridCell> cells;
+  for (const auto& v : variants)
+    for (const auto& r : reclaimers)
+      for (const long n : shard_counts) {
+        if (n < 1) continue;
+        for (const auto& s : suffixes)
+          cells.push_back({grid_id(v, r, n, s), v, r, n, s});
+      }
+  return cells;
 }
 
 /// Emit the per-op-class latency CSV twin (best effort), mirroring

@@ -132,4 +132,60 @@ std::vector<std::string> Options::get_string_list(
   return values.empty() ? def : values;
 }
 
+Options::HostPort Options::get_host_port(const std::string& name,
+                                         const HostPort& def) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def;
+  const std::string& value = flag->value;
+  const auto colon = value.rfind(':');
+
+  HostPort hp = def;
+  const std::string host =
+      colon == std::string::npos ? value : value.substr(0, colon);
+  if (!host.empty()) hp.host = host;
+  if (colon != std::string::npos && colon + 1 < value.size()) {
+    const std::string port = value.substr(colon + 1);
+    char* end = nullptr;
+    const long parsed = std::strtol(port.c_str(), &end, 10);
+    if (end == port.c_str() || *end != '\0' || parsed < 0 ||
+        parsed > 65535) {
+      std::fprintf(
+          stderr,
+          "options: --%s port '%s' is not in [0, 65535]; using %s:%d\n",
+          name.c_str(), port.c_str(), def.host.c_str(), def.port);
+      return def;
+    }
+    hp.port = static_cast<int>(parsed);
+  }
+  return hp;
+}
+
+long Options::get_duration_ms(const std::string& name, long def_ms) const {
+  const Flag* flag = lookup(name);
+  if (flag == nullptr || !flag->has_value) return def_ms;
+  const std::string& value = flag->value;
+  char* end = nullptr;
+  const double number = std::strtod(value.c_str(), &end);
+  const std::string unit(end);
+  double scale_ms;  // a bare number is seconds, the historical unit
+  if (unit.empty() || unit == "s")
+    scale_ms = 1000.0;
+  else if (unit == "ms")
+    scale_ms = 1.0;
+  else if (unit == "m")
+    scale_ms = 60.0 * 1000.0;
+  else if (unit == "h")
+    scale_ms = 3600.0 * 1000.0;
+  else
+    scale_ms = -1.0;  // unknown suffix
+  if (end == value.c_str() || scale_ms < 0 || number < 0) {
+    std::fprintf(stderr,
+                 "options: --%s value '%s' is not a duration "
+                 "(try 500ms, 5s, 2m, 1h); using %ldms\n",
+                 name.c_str(), value.c_str(), def_ms);
+    return def_ms;
+  }
+  return static_cast<long>(number * scale_ms);
+}
+
 }  // namespace pragmalist::harness

@@ -41,6 +41,22 @@ class Options {
   std::vector<std::string> get_string_list(
       const std::string& name, const std::vector<std::string>& def) const;
 
+  /// "host:port" flag value (e.g. --listen 0.0.0.0:7111). Either side
+  /// may be omitted: ":7111" keeps def.host, "10.0.0.1" or "10.0.0.1:"
+  /// keeps def.port. A non-numeric or out-of-range port warns and
+  /// returns `def` whole (the get_long contract).
+  struct HostPort {
+    std::string host;
+    int port = 0;
+  };
+  HostPort get_host_port(const std::string& name, const HostPort& def) const;
+
+  /// Duration flag with unit suffix: "500ms", "5s", "2m", "1h"; a bare
+  /// number means SECONDS (so the historical `--duration 5` keeps
+  /// meaning five seconds). Returns milliseconds. Fractions work
+  /// ("0.5s" = 500); junk or negative values warn and return `def_ms`.
+  long get_duration_ms(const std::string& name, long def_ms) const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

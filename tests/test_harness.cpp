@@ -71,6 +71,56 @@ TEST(Options, ListFlavorsShareOneSplitter) {
             (std::vector<std::string>{"10", "20", "30"}));
 }
 
+TEST(Options, HostPortParsesBothHalvesOrEither) {
+  const harness::Options::HostPort def{"127.0.0.1", 7111};
+  const auto opt = parse({"--listen", "0.0.0.0:9000", "--port-only",
+                          ":8080", "--host-only", "10.1.2.3"});
+  EXPECT_EQ(opt.get_host_port("listen", def).host, "0.0.0.0");
+  EXPECT_EQ(opt.get_host_port("listen", def).port, 9000);
+  // Either side may be omitted and keeps its default.
+  EXPECT_EQ(opt.get_host_port("port-only", def).host, "127.0.0.1");
+  EXPECT_EQ(opt.get_host_port("port-only", def).port, 8080);
+  EXPECT_EQ(opt.get_host_port("host-only", def).host, "10.1.2.3");
+  EXPECT_EQ(opt.get_host_port("host-only", def).port, 7111);
+  EXPECT_EQ(opt.get_host_port("absent", def).port, 7111);
+}
+
+TEST(Options, HostPortRejectsBadPortsWhole) {
+  // A broken port discards the whole value (warn + default, the
+  // get_long contract) -- no half-applied host with a default port.
+  const harness::Options::HostPort def{"127.0.0.1", 7111};
+  for (const char* bad : {"h:99999", "h:-1", "h:x", "h:80x"}) {
+    const auto opt = parse({"--listen", bad});
+    const auto hp = opt.get_host_port("listen", def);
+    EXPECT_EQ(hp.host, "127.0.0.1") << bad;
+    EXPECT_EQ(hp.port, 7111) << bad;
+  }
+}
+
+TEST(Options, DurationSuffixesScaleToMilliseconds) {
+  const auto opt =
+      parse({"--a", "500ms", "--b", "5s", "--c", "2m", "--d", "1h",
+             "--e", "3", "--f", "0.25s", "--g", "0"});
+  EXPECT_EQ(opt.get_duration_ms("a", 0), 500);
+  EXPECT_EQ(opt.get_duration_ms("b", 0), 5000);
+  EXPECT_EQ(opt.get_duration_ms("c", 0), 120000);
+  EXPECT_EQ(opt.get_duration_ms("d", 0), 3600000);
+  // Bare numbers stay seconds: `--duration 3` has always meant 3 s.
+  EXPECT_EQ(opt.get_duration_ms("e", 0), 3000);
+  EXPECT_EQ(opt.get_duration_ms("f", 0), 250);
+  EXPECT_EQ(opt.get_duration_ms("g", 99), 0);
+  EXPECT_EQ(opt.get_duration_ms("absent", 42), 42);
+}
+
+TEST(Options, DurationRejectsJunkAndNegatives) {
+  const auto opt = parse({"--a", "5x", "--b", "-1s", "--c", "ms",
+                          "--d", "1 h"});
+  EXPECT_EQ(opt.get_duration_ms("a", 7), 7);
+  EXPECT_EQ(opt.get_duration_ms("b", 7), 7);
+  EXPECT_EQ(opt.get_duration_ms("c", 7), 7);
+  EXPECT_EQ(opt.get_duration_ms("d", 7), 7);
+}
+
 TEST(Catalog, PaperVariantsAreTheSixRows) {
   const auto& ids = harness::paper_variant_ids();
   ASSERT_EQ(ids.size(), 6u);

@@ -1,0 +1,409 @@
+// Network front-end tests: the RESP-subset frame/reply parsers under
+// partial, pipelined and adversarial input; dispatch_request against a
+// sequential std::set oracle; and an in-process loopback smoke --
+// Server on an ephemeral port driven by the real run_loadgen engine,
+// asserting the exact client/server ledger match, a valid structure
+// and a bounded limbo afterwards, plus the injected-crash path
+// (abandon -> -ERR -> re-lease -> supervisor reap) over the wire.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/harness/catalog.hpp"
+#include "src/net/loadgen.hpp"
+#include "src/net/protocol.hpp"
+#include "src/net/server.hpp"
+
+namespace pragmalist {
+namespace {
+
+using net::protocol::FrameParser;
+using net::protocol::ParseStatus;
+using net::protocol::Reply;
+using net::protocol::ReplyParser;
+
+std::string frame_of(const std::vector<std::string>& args) {
+  std::string out;
+  net::protocol::encode_request(out, args);
+  return out;
+}
+
+// --- frame parser ----------------------------------------------------
+
+TEST(FrameParser, RoundTripsOneFrame) {
+  FrameParser p;
+  p.feed(frame_of({"GET", "42"}));
+  std::vector<std::string> args;
+  ASSERT_EQ(p.next(&args), ParseStatus::kFrame);
+  EXPECT_EQ(args, (std::vector<std::string>{"GET", "42"}));
+  EXPECT_EQ(p.next(&args), ParseStatus::kNeedMore);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(FrameParser, ByteAtATimeDelivery) {
+  // kNeedMore at every prefix, exactly one frame at the last byte:
+  // the partial-read path a real socket exercises constantly.
+  const std::string wire = frame_of({"SET", "-987654321"});
+  FrameParser p;
+  std::vector<std::string> args;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    p.feed(wire.data() + i, 1);
+    ASSERT_EQ(p.next(&args), ParseStatus::kNeedMore) << "at byte " << i;
+  }
+  p.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(p.next(&args), ParseStatus::kFrame);
+  EXPECT_EQ(args, (std::vector<std::string>{"SET", "-987654321"}));
+}
+
+TEST(FrameParser, DrainsAPipelinedBurst) {
+  FrameParser p;
+  std::string wire;
+  for (int i = 0; i < 100; ++i)
+    wire += frame_of({"GET", std::to_string(i)});
+  p.feed(wire);
+  std::vector<std::string> args;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(p.next(&args), ParseStatus::kFrame);
+    EXPECT_EQ(args[1], std::to_string(i));
+  }
+  EXPECT_EQ(p.next(&args), ParseStatus::kNeedMore);
+}
+
+TEST(FrameParser, SplitAcrossFeedsMidPayload) {
+  const std::string wire = frame_of({"SCAN", "100", "64"});
+  FrameParser p;
+  std::vector<std::string> args;
+  p.feed(wire.substr(0, 9));
+  EXPECT_EQ(p.next(&args), ParseStatus::kNeedMore);
+  p.feed(wire.substr(9));
+  ASSERT_EQ(p.next(&args), ParseStatus::kFrame);
+  EXPECT_EQ(args, (std::vector<std::string>{"SCAN", "100", "64"}));
+}
+
+TEST(FrameParser, RejectsMalformedStreams) {
+  // Each case must yield kError (sticky), never UB and never a frame.
+  const std::vector<std::string> bad = {
+      "GET 42\r\n",                    // inline command, not RESP
+      "*x\r\n",                        // non-numeric argc
+      "*0\r\n",                        // empty frame
+      "*-1\r\n",                       // negative argc
+      "*1\r\nGET\r\n",                 // missing bulk header
+      "*1\r\n$3\r\nGETX\r\n",          // payload longer than declared
+      "*1\r\n$-4\r\n",                 // negative bulk length
+      "*99\r\n",                       // argc over kMaxArgs
+      "*1\r\n$999999\r\n",             // bulk over kMaxBulk
+      "*1\r\n$99999999999999999\r\n",  // length field overflow
+  };
+  for (const auto& wire : bad) {
+    FrameParser p;
+    p.feed(wire);
+    std::vector<std::string> args;
+    EXPECT_EQ(p.next(&args), ParseStatus::kError) << "input: " << wire;
+    EXPECT_FALSE(p.error().empty());
+    // Sticky until reset.
+    p.feed(frame_of({"PING"}));
+    EXPECT_EQ(p.next(&args), ParseStatus::kError);
+    p.reset();
+    p.feed(frame_of({"PING"}));
+    EXPECT_EQ(p.next(&args), ParseStatus::kFrame);
+  }
+}
+
+TEST(FrameParser, OversizedFrameIsRejectedNotBuffered) {
+  // A frame that never completes but keeps growing must trip the
+  // frame-size ceiling instead of buffering without bound.
+  FrameParser p(/*max_frame=*/256);
+  p.feed("*8\r\n");
+  std::vector<std::string> args;
+  ParseStatus st = ParseStatus::kNeedMore;
+  for (int i = 0; i < 64 && st == ParseStatus::kNeedMore; ++i) {
+    p.feed("$100\r\n");  // headers forever, payload never arrives
+    st = p.next(&args);
+  }
+  EXPECT_EQ(st, ParseStatus::kError);
+}
+
+TEST(FrameParser, CompactsConsumedPrefix) {
+  // A long-lived pipelined connection must not grow the buffer without
+  // bound: after many consumed frames the retained bytes stay small.
+  FrameParser p;
+  std::vector<std::string> args;
+  for (int i = 0; i < 10000; ++i) {
+    p.feed(frame_of({"GET", std::to_string(i)}));
+    ASSERT_EQ(p.next(&args), ParseStatus::kFrame);
+  }
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(ParseKey, StrictDecimalLongs) {
+  long v = 0;
+  EXPECT_TRUE(net::protocol::parse_key("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(net::protocol::parse_key("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(net::protocol::parse_key("", &v));
+  EXPECT_FALSE(net::protocol::parse_key("12x", &v));
+  EXPECT_FALSE(net::protocol::parse_key("4.2", &v));
+  EXPECT_FALSE(net::protocol::parse_key(" 1", &v));
+  EXPECT_FALSE(net::protocol::parse_key("999999999999999999999999999", &v));
+}
+
+// --- reply parser ----------------------------------------------------
+
+TEST(ReplyParser, RoundTripsEveryReplyType) {
+  std::string wire;
+  net::protocol::encode_simple(wire, "PONG");
+  net::protocol::encode_error(wire, "ERR nope");
+  net::protocol::encode_integer(wire, -3);
+  net::protocol::encode_bulk(wire, "a:1\nb:2\n");
+  net::protocol::encode_int_array(wire, {1, 2, 3});
+
+  // Byte at a time, to cover every resume point.
+  ReplyParser p;
+  std::vector<Reply> got;
+  for (char c : wire) {
+    p.feed(&c, 1);
+    Reply r;
+    while (p.next(&r) == ParseStatus::kFrame) got.push_back(r);
+  }
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].type, Reply::Type::kSimple);
+  EXPECT_EQ(got[0].text, "PONG");
+  EXPECT_EQ(got[1].type, Reply::Type::kError);
+  EXPECT_EQ(got[1].text, "ERR nope");
+  EXPECT_EQ(got[2].type, Reply::Type::kInteger);
+  EXPECT_EQ(got[2].integer, -3);
+  EXPECT_EQ(got[3].type, Reply::Type::kBulk);
+  EXPECT_EQ(got[3].text, "a:1\nb:2\n");
+  EXPECT_EQ(got[4].type, Reply::Type::kIntArray);
+  EXPECT_EQ(got[4].ints, (std::vector<long>{1, 2, 3}));
+}
+
+TEST(ReplyParser, RejectsUnknownTypeByte) {
+  ReplyParser p;
+  p.feed("?what\r\n");
+  Reply r;
+  EXPECT_EQ(p.next(&r), ParseStatus::kError);
+}
+
+// --- dispatch vs sequential oracle -----------------------------------
+
+/// Run one command through dispatch_request and decode the reply.
+Reply dispatch(core::ISetHandle& handle,
+               const std::vector<std::string>& args) {
+  std::string out;
+  net::dispatch_request(args, handle, out);
+  ReplyParser p;
+  p.feed(out);
+  Reply r;
+  EXPECT_EQ(p.next(&r), ParseStatus::kFrame);
+  return r;
+}
+
+TEST(Dispatch, MatchesSequentialOracle) {
+  const auto set = harness::make_set("singly");
+  const auto handle = set->make_handle();
+  std::set<long> oracle;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 4000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const long key = static_cast<long>((x >> 33) % 512);
+    const int op = static_cast<int>((x >> 20) % 3);
+    const std::string ks = std::to_string(key);
+    if (op == 0) {
+      const Reply r = dispatch(*handle, {"SET", ks});
+      ASSERT_EQ(r.type, Reply::Type::kInteger);
+      EXPECT_EQ(r.integer, oracle.insert(key).second ? 1 : 0);
+    } else if (op == 1) {
+      const Reply r = dispatch(*handle, {"DEL", ks});
+      ASSERT_EQ(r.type, Reply::Type::kInteger);
+      EXPECT_EQ(r.integer, oracle.erase(key) != 0 ? 1 : 0);
+    } else {
+      const Reply r = dispatch(*handle, {"GET", ks});
+      ASSERT_EQ(r.type, Reply::Type::kInteger);
+      EXPECT_EQ(r.integer, oracle.count(key) != 0 ? 1 : 0);
+    }
+  }
+  // SCAN pages agree with the oracle's sorted order.
+  const Reply scan = dispatch(*handle, {"SCAN", "100", "50"});
+  ASSERT_EQ(scan.type, Reply::Type::kIntArray);
+  std::vector<long> expect;
+  for (auto it = oracle.lower_bound(100);
+       it != oracle.end() && expect.size() < 50; ++it)
+    expect.push_back(*it);
+  EXPECT_EQ(scan.ints, expect);
+  std::string err;
+  EXPECT_TRUE(set->validate(&err)) << err;
+}
+
+TEST(Dispatch, ErrorsTouchNothing) {
+  const auto set = harness::make_set("singly");
+  const auto handle = set->make_handle();
+  dispatch(*handle, {"SET", "7"});
+  const std::vector<std::vector<std::string>> bad = {
+      {"FROB", "7"},       // unknown command
+      {"SET"},             // missing key
+      {"GET", "7", "8"},   // extra arg
+      {"DEL", "seven"},    // non-integer key
+      {"SCAN", "0"},       // missing count
+      {"SCAN", "0", "-1"}, // negative count
+      {"PING", "x"},       // arity
+  };
+  for (const auto& args : bad) {
+    const Reply r = dispatch(*handle, args);
+    EXPECT_EQ(r.type, Reply::Type::kError) << args[0];
+    EXPECT_EQ(r.text.rfind("ERR", 0), 0u) << r.text;
+  }
+  EXPECT_EQ(set->size(), 1u);
+  const long ops_before = handle->counters().total_ops();
+  EXPECT_EQ(ops_before, 1);  // only the one good SET dispatched
+}
+
+TEST(Dispatch, ScanCountIsClamped) {
+  const auto set = harness::make_set("singly");
+  const auto handle = set->make_handle();
+  for (long k = 0; k < 64; ++k) handle->add(k);
+  std::string out;
+  const auto o =
+      net::dispatch_request({"SCAN", "0", "99999999"}, *handle, out);
+  EXPECT_TRUE(o.data_op);
+  ReplyParser p;
+  p.feed(out);
+  Reply r;
+  ASSERT_EQ(p.next(&r), ParseStatus::kFrame);
+  EXPECT_EQ(r.ints.size(), 64u);  // all present keys, clamp held
+}
+
+// --- loopback server/client smoke ------------------------------------
+
+TEST(Loopback, LedgerMatchesAndStructureSurvives) {
+  net::ServerConfig scfg;
+  scfg.port = 0;  // ephemeral
+  scfg.set_id = "singly/ebr/sh2";
+  scfg.workers = 2;
+  net::Server server(scfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  net::LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.threads = 2;
+  cfg.connections = 16;
+  cfg.total_ops = 3000;
+  cfg.universe = 1024;
+  cfg.mix = {20, 20, 50, 10};
+  const net::LoadGenResult res = net::run_loadgen(cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GE(res.total_completed(), 3000);
+  EXPECT_EQ(res.errors, 0);
+  EXPECT_EQ(res.abandoned, 0);
+  // The tentpole acceptance check, in-process: every acknowledged op
+  // is in the server's ledger and nothing else is.
+  EXPECT_TRUE(res.ledger_match)
+      << "server=" << res.server_total_ops
+      << " client=" << res.total_completed();
+
+  server.stop();
+  EXPECT_EQ(server.ledger().total_ops(), res.total_completed());
+  core::ISet& set = server.set();
+  std::string why;
+  EXPECT_TRUE(set.validate(&why)) << why;
+  // All leases departed cleanly: no crashed slots, nothing parked.
+  const faults::BlastStats blast = set.blast_stats();
+  EXPECT_EQ(blast.crashed_slots, 0u);
+  EXPECT_EQ(blast.leaked_cells, 0u);
+  EXPECT_EQ(blast.parked_limbo, 0u);
+}
+
+TEST(Loopback, ReconnectChurnKeepsLedgerExact) {
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.set_id = "unrolled_k8/hp";
+  scfg.workers = 2;
+  net::Server server(scfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  net::LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.threads = 2;
+  cfg.connections = 12;
+  // Duration mode so the waves schedule gets whole down->up cycles:
+  // 14 ticks of 50 ms = half/full/half/full, so churned-out slots are
+  // re-opened (reconnects) twice within the window.
+  cfg.duration_ms = 700;
+  cfg.universe = 512;
+  cfg.schedule = service::SoakSchedule::kWaves;
+  cfg.churn_ticks = 14;
+  const net::LoadGenResult res = net::run_loadgen(cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.reconnects, 0);  // churn actually churned
+  EXPECT_EQ(res.abandoned, 0);
+  EXPECT_TRUE(res.ledger_match)
+      << "server=" << res.server_total_ops
+      << " client=" << res.total_completed();
+
+  server.stop();
+  std::string why;
+  EXPECT_TRUE(server.set().validate(&why)) << why;
+  // Zero leaked hazard slots after every connection dropped (HP leg).
+  EXPECT_EQ(server.set().blast_stats().leaked_cells, 0u);
+}
+
+TEST(Loopback, InjectedCrashReLeasesAndReaps) {
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.set_id = "singly/ebr/sh2";
+  scfg.workers = 2;
+  scfg.reap_delay_ms = 20;
+  scfg.faults.at(0, 40, faults::FaultKind::kDepartWithoutRelease)
+      .at(1, 60, faults::FaultKind::kMidOpAbandon);
+  net::Server server(scfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  net::LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.threads = 2;
+  cfg.connections = 8;
+  cfg.total_ops = 2000;
+  cfg.universe = 256;
+  const net::LoadGenResult res = net::run_loadgen(cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  // Each fired fault answered exactly one request with -ERR crashed;
+  // those requests were never dispatched, so the ledger still matches.
+  EXPECT_GE(res.errors, 1);
+  EXPECT_TRUE(res.ledger_match)
+      << "server=" << res.server_total_ops
+      << " client=" << res.total_completed();
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  EXPECT_GE(stats.faults_fired, 1);
+  EXPECT_GE(stats.reaps, 1);  // the supervisor actually recovered them
+  std::string why;
+  EXPECT_TRUE(server.set().validate(&why)) << why;
+  // Post-reap the blast radius is fully cleaned up.
+  const faults::BlastStats blast = server.set().blast_stats();
+  EXPECT_EQ(blast.crashed_slots, 0u);
+  EXPECT_EQ(blast.leaked_cells, 0u);
+}
+
+TEST(Server, InfoIsServableWhileServing) {
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.workers = 1;
+  net::Server server(scfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  const std::string info = server.info();
+  EXPECT_NE(info.find("set:singly/ebr/sh8"), std::string::npos);
+  EXPECT_NE(info.find("total_ops:0"), std::string::npos);
+  EXPECT_NE(info.find("limbo:"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pragmalist
